@@ -1,0 +1,15 @@
+"""Benchmark: design-choice ablations (DESIGN.md Sec. 5)."""
+
+from conftest import run_once
+
+from repro.experiments import run_ablation
+
+
+def test_bench_ablation(benchmark, profile):
+    result = run_once(benchmark, run_ablation, profile)
+    result.show()
+    by_variant = {r["variant"]: r for r in result.rows}
+    assert "hygnn (1 layer, attention)" in by_variant
+    assert "mean-pool encoder (no attention)" in by_variant
+    # All variants learn something.
+    assert all(r["ROC-AUC"] > 55 for r in result.rows)

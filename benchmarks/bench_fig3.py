@@ -1,0 +1,18 @@
+"""Benchmark: Fig. 3 — performance vs k-mer size."""
+
+from conftest import run_once
+
+from repro.experiments import run_fig3
+
+
+def test_bench_fig3(benchmark, profile):
+    result = run_once(benchmark, run_fig3, profile,
+                      sizes=(3, 6, 9), datasets=("TWOSIDES",),
+                      decoders=("mlp",))
+    result.show()
+    assert len(result.rows) == 3
+    assert all(r["ROC-AUC"] > 55 for r in result.rows)
+    # Mid-size k should be competitive with the extremes (rising-then-
+    # saturating curve; the bend sits at smaller k on shorter SMILES).
+    aucs = {r["parameter"]: r["ROC-AUC"] for r in result.rows}
+    assert max(aucs[3], aucs[6]) >= aucs[9] - 3.0

@@ -1,0 +1,15 @@
+"""Benchmark: Table I — dataset statistics generation."""
+
+from conftest import run_once
+
+from repro.experiments import run_table1
+
+
+def test_bench_table1(benchmark, profile):
+    result = run_once(benchmark, run_table1, profile)
+    result.show()
+    by_name = {r["dataset"]: r for r in result.rows}
+    # Densities must match Table I at any scale.
+    assert abs(by_name["TWOSIDES"]["density"] - 0.3056) < 0.02
+    assert abs(by_name["DrugBank"]["density"] - 0.1316) < 0.02
+    assert by_name["DrugBank"]["num_drugs"] > by_name["TWOSIDES"]["num_drugs"]

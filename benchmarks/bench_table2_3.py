@@ -1,0 +1,28 @@
+"""Benchmark: Tables II & III — hypergraph node counts vs parameters."""
+
+from conftest import run_once
+
+from repro.experiments import run_table2, run_table3
+
+
+def _check_shape(rows):
+    espf = [r["espf_nodes"] for r in rows]
+    kmer = [r["kmer_nodes"] for r in rows]
+    # ESPF: monotone non-increasing with threshold (Table II/III trend).
+    assert all(a >= b for a, b in zip(espf, espf[1:]))
+    # k-mer: grows with k before saturating; first three strictly grow.
+    assert kmer[0] < kmer[1] < kmer[2]
+
+
+def test_bench_table2(benchmark, profile):
+    result = run_once(benchmark, run_table2, profile)
+    result.show()
+    _check_shape(result.rows)
+
+
+def test_bench_table3(profile, benchmark):
+    result = run_once(benchmark, run_table3, profile)
+    result.show()
+    _check_shape(result.rows)
+    # DrugBank corpus is larger -> more nodes than TWOSIDES at k=3.
+    assert result.rows[0]["kmer_nodes"] > 0

@@ -1,0 +1,14 @@
+"""Benchmark: Table IV — hyper-parameter grid search."""
+
+from conftest import run_once
+
+from repro.experiments import run_table4
+
+
+def test_bench_table4(benchmark, profile):
+    result = run_once(benchmark, run_table4, profile)
+    result.show()
+    assert len(result.rows) == 4  # reduced 2x2 grid
+    assert sum(1 for r in result.rows if r["best"] == "*") == 1
+    best = next(r for r in result.rows if r["best"] == "*")
+    assert best["val_loss"] == min(r["val_loss"] for r in result.rows)

@@ -1,0 +1,32 @@
+"""Benchmark: Table V — full model comparison on TWOSIDES.
+
+Shape assertions (who wins), not absolute numbers: the substrate is a
+synthetic corpus on CPU, not the authors' testbed.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table5
+
+
+def test_bench_table5(benchmark, profile):
+    result = run_once(benchmark, run_table5, profile)
+    result.show()
+    by_model = {r["model"]: r for r in result.rows}
+
+    hygnn_mlp_best = max(by_model["hygnn-kmer-mlp"]["ROC-AUC"],
+                         by_model["hygnn-espf-mlp"]["ROC-AUC"])
+    baselines = [r for r in result.rows if not r["model"].startswith("hygnn")]
+    # HyGNN (MLP) is at or near the top of the structure-only models.  The
+    # fast profile's test split holds only ~60 pairs, so rankings carry
+    # several points of sampling noise, and Decagon sees privileged
+    # relational data (train DDIs + proteins) that shines on tiny corpora.
+    # The strict HyGNN-leads-everything ordering is verified at the default
+    # profile and recorded in EXPERIMENTS.md.
+    structure_only = [b for b in baselines if b["model"] != "decagon"]
+    assert hygnn_mlp_best >= max(b["ROC-AUC"] for b in structure_only) - 5.0
+    # MLP decoder >= dot decoder within each substructure method.
+    assert (by_model["hygnn-kmer-mlp"]["F1"]
+            >= by_model["hygnn-kmer-dot"]["F1"] - 2.0)
+    # All models beat chance decisively.
+    assert all(r["ROC-AUC"] > 55 for r in result.rows)

@@ -1,0 +1,21 @@
+"""Benchmark: Table VI — full model comparison on DrugBank."""
+
+from conftest import run_once
+
+from repro.experiments import run_table6
+
+
+def test_bench_table6(benchmark, profile):
+    result = run_once(benchmark, run_table6, profile)
+    result.show()
+    models = {r["model"] for r in result.rows}
+    # Decagon is excluded for DrugBank, as in the paper.
+    assert "decagon" not in models
+    by_model = {r["model"]: r for r in result.rows}
+    hygnn_best = max(by_model["hygnn-kmer-mlp"]["ROC-AUC"],
+                     by_model["hygnn-espf-mlp"]["ROC-AUC"])
+    baselines = [r for r in result.rows if not r["model"].startswith("hygnn")]
+    # Near-top at the fast profile; strict ordering is checked at the
+    # default profile (EXPERIMENTS.md) — see bench_table5 for rationale.
+    assert hygnn_best >= max(b["ROC-AUC"] for b in baselines) - 5.0
+    assert all(r["ROC-AUC"] > 55 for r in result.rows)

@@ -1,0 +1,33 @@
+"""Benchmark fixtures.
+
+Each benchmark regenerates one paper artifact at the ``fast`` profile
+(seconds-scale) and prints the measured-vs-paper table.  ``pedantic`` with a
+single round is used throughout: these are end-to-end experiment pipelines,
+not micro-benchmarks, and re-running them many times would multiply minutes
+of training for no statistical gain.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.experiments import FAST
+
+
+@pytest.fixture(scope="session")
+def profile():
+    return FAST
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

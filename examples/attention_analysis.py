@@ -1,0 +1,59 @@
+"""Substructure attention analysis: which functional groups drive DDIs?
+
+The paper's interpretability claim (Sec. I): "not all but a few
+substructures are mainly significant in chemical reactions", and the
+node-level attention (Eq. 8) learns to weight them.  This example trains
+HyGNN, extracts the attention coefficients X_ji per (substructure ∈ drug)
+membership, and ranks each drug's substructures — the highly attended ones
+should overlap the latent pharmacophores the generator planted.
+
+    python examples/attention_analysis.py
+"""
+
+import numpy as np
+
+from repro.chem import fragment_by_name
+from repro.core import HyGNNConfig, train_hygnn
+from repro.data import balanced_pairs_and_labels, load_dataset, random_split
+
+
+def main() -> None:
+    dataset = load_dataset("twosides", scale=0.1, seed=0)
+    pairs, labels = balanced_pairs_and_labels(dataset, seed=0)
+    split = random_split(len(pairs), seed=0)
+    config = HyGNNConfig(method="kmer", parameter=6, epochs=150, patience=30)
+    model, hypergraph, _, summary = train_hygnn(dataset.smiles, pairs,
+                                                labels, split, config)
+    print(f"test metrics: {summary}\n")
+
+    # Attention weight per incidence entry, grouped by drug (hyperedge).
+    weights = model.encoder.substructure_attention(hypergraph)
+
+    hit_count = 0
+    shown = 0
+    for drug_index in range(dataset.num_drugs):
+        drug = dataset.drugs[drug_index]
+        if not drug.pharmacophores or shown >= 5:
+            continue
+        mask = hypergraph.edge_ids == drug_index
+        entry_nodes = hypergraph.node_ids[mask]
+        entry_weights = weights[mask]
+        order = np.argsort(-entry_weights)[:3]
+        top_tokens = [hypergraph.node_labels[entry_nodes[i]] for i in order]
+
+        pharma_smiles = [fragment_by_name(n).smiles
+                         for n in sorted(drug.pharmacophores)]
+        overlap = any(token in p or p in token
+                      for token in top_tokens for p in pharma_smiles)
+        hit_count += overlap
+        shown += 1
+        print(f"{drug.name} ({drug.smiles})")
+        print(f"  latent pharmacophores: {pharma_smiles}")
+        print(f"  top-attended substructures: {top_tokens} "
+              f"{'<-- overlap' if overlap else ''}")
+    print(f"\n{hit_count}/{shown} drugs have a pharmacophore among their "
+          "top-attended substructures")
+
+
+if __name__ == "__main__":
+    main()

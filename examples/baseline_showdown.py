@@ -1,0 +1,55 @@
+"""Baseline showdown: a miniature Table V on one command.
+
+Trains the best model of each baseline family plus HyGNN on the same
+TWOSIDES-like split and prints the comparison.  At this demo's tiny scale
+the test split holds only ~100 pairs, so rankings carry a few points of
+noise (Decagon, which sees privileged protein data, sometimes spikes); the
+paper-shape comparison (HyGNN leads, CASTER best baseline) is measured at
+the default profile in EXPERIMENTS.md.
+
+    python examples/baseline_showdown.py
+"""
+
+import time
+
+from repro.baselines import (BaselineConfig, CasterConfig, UnsupervisedConfig,
+                             WalkConfig, run_baseline)
+from repro.core import HyGNNConfig, train_hygnn
+from repro.data import balanced_pairs_and_labels, load_benchmark, random_split
+
+
+def main() -> None:
+    benchmark = load_benchmark(scale=0.1, seed=0)
+    dataset = benchmark.twosides
+    pairs, labels = balanced_pairs_and_labels(dataset, seed=0)
+    split = random_split(len(pairs), seed=0)
+    config = BaselineConfig(
+        walk=WalkConfig(num_walks=5, walk_length=40, epochs=2,
+                        learning_rate=0.05),
+        unsupervised=UnsupervisedConfig(epochs=80),
+        caster=CasterConfig(epochs=120, patience=25))
+
+    rows = []
+    for name in ("node2vec", "graphsage-ddi", "graphsage-ssg", "caster",
+                 "decagon"):
+        start = time.time()
+        summary = run_baseline(name, dataset, pairs, labels, split, config,
+                               universe=benchmark.universe)
+        rows.append((name, summary, time.time() - start))
+
+    start = time.time()
+    _, _, _, summary = train_hygnn(
+        dataset.smiles, pairs, labels, split,
+        HyGNNConfig(method="kmer", parameter=6, epochs=200, patience=40))
+    rows.append(("hygnn-kmer-mlp", summary, time.time() - start))
+
+    print(f"{'model':18s} {'F1':>7s} {'ROC-AUC':>8s} {'PR-AUC':>7s} {'sec':>6s}")
+    for name, summary, elapsed in rows:
+        print(f"{name:18s} {summary.f1:7.2f} {summary.roc_auc:8.2f} "
+              f"{summary.pr_auc:7.2f} {elapsed:6.1f}")
+    best = max(rows, key=lambda r: r[1].roc_auc)
+    print(f"\nbest model by ROC-AUC: {best[0]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The build environment is offline and lacks the ``wheel`` package, so
+``pip install -e .`` (PEP 660) cannot build an editable wheel.  This shim
+enables the legacy editable path: ``python setup.py develop`` or
+``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

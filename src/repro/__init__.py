@@ -1,0 +1,17 @@
+"""repro — a full reproduction of "HyGNN: Drug-Drug Interaction Prediction
+via Hypergraph Neural Network" (Saifuddin et al., ICDE 2023).
+
+Subpackages
+-----------
+- ``repro.nn``          numpy autograd + layers/optimizers (PyTorch substitute)
+- ``repro.chem``        SMILES tokenizer, ESPF, k-mer, synthetic molecule generator
+- ``repro.data``        TWOSIDES/DrugBank-like datasets, splits, negative sampling
+- ``repro.hypergraph``  drug hypergraph (Algorithm 1)
+- ``repro.graphs``      DDI graph and substructure-similarity graph (SSG)
+- ``repro.core``        the HyGNN model: attention encoder, decoders, trainer
+- ``repro.baselines``   DeepWalk, node2vec, GCN/GAT/GraphSAGE, CASTER, Decagon
+- ``repro.metrics``     F1 / ROC-AUC / PR-AUC
+- ``repro.experiments`` harness regenerating every table and figure
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""``repro.baselines`` — every comparison model from the paper's Sec. IV-C.
+
+Families: random-walk embeddings (DeepWalk, node2vec), unsupervised GNNs
+(GCN/GAT/GraphSAGE on the DDI graph and on the SSG), CASTER, Decagon, and
+the logistic-regression pair classifier they share.
+"""
+
+from .caster import Caster, CasterConfig, CasterModel
+from .classifiers import LogisticRegression, pair_features
+from .decagon import Decagon, DecagonConfig, DecagonModel
+from .embeddings import WalkConfig, deepwalk_embeddings, node2vec_embeddings
+from .gnn import GATLayer, GCNLayer, GraphEncoder, SAGELayer
+from .runner import BASELINE_NAMES, BaselineConfig, run_baseline
+from .sgns import SkipGramModel
+from .unsupervised import UnsupervisedConfig, train_unsupervised_gnn
+from .walks import node2vec_walks, skipgram_pairs, uniform_random_walks
+
+__all__ = [
+    "Caster", "CasterConfig", "CasterModel",
+    "LogisticRegression", "pair_features",
+    "Decagon", "DecagonConfig", "DecagonModel",
+    "WalkConfig", "deepwalk_embeddings", "node2vec_embeddings",
+    "GraphEncoder", "GCNLayer", "GATLayer", "SAGELayer",
+    "BASELINE_NAMES", "BaselineConfig", "run_baseline",
+    "SkipGramModel",
+    "UnsupervisedConfig", "train_unsupervised_gnn",
+    "uniform_random_walks", "node2vec_walks", "skipgram_pairs",
+]

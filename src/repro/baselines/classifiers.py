@@ -1,0 +1,84 @@
+"""Logistic regression on concatenated drug-pair embeddings.
+
+The paper feeds pair-wise concatenated drug representations into "a simple
+ML classifier" (logistic regression, Sec. IV-B) for every embedding-based
+baseline.  Implemented directly on numpy with full-batch gradient descent
+plus L2 regularisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class LogisticRegression:
+    """Binary logistic regression with L2 regularisation."""
+
+    def __init__(self, learning_rate: float = 0.1, epochs: int = 300,
+                 l2: float = 1e-4, seed: int = 0):
+        if epochs < 1:
+            raise ValueError("epochs must be positive")
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.weights: np.ndarray | None = None
+        self.bias: float = 0.0
+        self._mean: np.ndarray | None = None
+        self._std: np.ndarray | None = None
+
+    @staticmethod
+    def _sigmoid(z: np.ndarray) -> np.ndarray:
+        return np.where(z >= 0, 1.0 / (1.0 + np.exp(-np.clip(z, -500, None))),
+                        np.exp(np.clip(z, None, 500))
+                        / (1.0 + np.exp(np.clip(z, None, 500))))
+
+    def fit(self, features: np.ndarray, labels: np.ndarray
+            ) -> "LogisticRegression":
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+        if len(features) != len(labels):
+            raise ValueError("features/labels length mismatch")
+        # Standardise features for well-conditioned gradients.
+        self._mean = features.mean(axis=0)
+        self._std = features.std(axis=0) + 1e-8
+        x = (features - self._mean) / self._std
+        n, d = x.shape
+        rng = np.random.default_rng(self.seed)
+        self.weights = rng.normal(0.0, 0.01, size=d)
+        self.bias = 0.0
+        # Adam for robustness on ill-scaled embeddings.
+        m = np.zeros(d + 1)
+        v = np.zeros(d + 1)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for t in range(1, self.epochs + 1):
+            probs = self._sigmoid(x @ self.weights + self.bias)
+            error = probs - labels
+            grad_w = x.T @ error / n + self.l2 * self.weights
+            grad_b = error.mean()
+            grad = np.r_[grad_w, grad_b]
+            m = beta1 * m + (1 - beta1) * grad
+            v = beta2 * v + (1 - beta2) * grad * grad
+            m_hat = m / (1 - beta1 ** t)
+            v_hat = v / (1 - beta2 ** t)
+            update = self.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self.weights -= update[:-1]
+            self.bias -= update[-1]
+        return self
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("classifier is not fitted")
+        x = (np.asarray(features, dtype=np.float64) - self._mean) / self._std
+        return self._sigmoid(x @ self.weights + self.bias)
+
+    def predict(self, features: np.ndarray,
+                threshold: float = 0.5) -> np.ndarray:
+        return (self.predict_proba(features) >= threshold).astype(np.float64)
+
+
+def pair_features(embeddings: np.ndarray, pairs: np.ndarray) -> np.ndarray:
+    """Concatenated drug-pair features ``[h_u ∥ h_v]`` (paper Sec. IV-C)."""
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return np.concatenate([embeddings[pairs[:, 0]], embeddings[pairs[:, 1]]],
+                          axis=1)

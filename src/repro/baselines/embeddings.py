@@ -1,0 +1,57 @@
+"""DeepWalk and node2vec drug embeddings (baseline family 1, Sec. IV-C).
+
+Paper parameters: walk length 100, 10 walks per node, window size 5.  Both
+methods embed the *DDI graph* built from training interactions; drug-pair
+features are the concatenated embeddings fed to a logistic-regression
+classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs import Graph
+from .sgns import SkipGramModel
+from .walks import node2vec_walks, skipgram_pairs, uniform_random_walks
+
+
+@dataclass(frozen=True)
+class WalkConfig:
+    """Random-walk embedding hyper-parameters (paper Sec. IV-B)."""
+
+    num_walks: int = 10
+    walk_length: int = 100
+    window: int = 5
+    dim: int = 64
+    epochs: int = 2
+    negatives: int = 5
+    learning_rate: float = 0.025
+    p: float = 1.0   # node2vec return parameter
+    q: float = 0.5   # node2vec in-out parameter
+    seed: int = 0
+
+
+def deepwalk_embeddings(graph: Graph, config: WalkConfig = WalkConfig()
+                        ) -> np.ndarray:
+    """DeepWalk (Perozzi et al., 2014): uniform walks + skip-gram."""
+    walks = uniform_random_walks(graph, config.num_walks, config.walk_length,
+                                 seed=config.seed)
+    pairs = skipgram_pairs(walks, config.window, seed=config.seed)
+    model = SkipGramModel(graph.num_nodes, config.dim, seed=config.seed)
+    model.train(pairs, epochs=config.epochs, negatives=config.negatives,
+                learning_rate=config.learning_rate)
+    return model.embeddings
+
+
+def node2vec_embeddings(graph: Graph, config: WalkConfig = WalkConfig()
+                        ) -> np.ndarray:
+    """node2vec (Grover & Leskovec, 2016): biased walks + skip-gram."""
+    walks = node2vec_walks(graph, config.num_walks, config.walk_length,
+                           p=config.p, q=config.q, seed=config.seed)
+    pairs = skipgram_pairs(walks, config.window, seed=config.seed)
+    model = SkipGramModel(graph.num_nodes, config.dim, seed=config.seed)
+    model.train(pairs, epochs=config.epochs, negatives=config.negatives,
+                learning_rate=config.learning_rate)
+    return model.embeddings

@@ -1,0 +1,112 @@
+"""GCN, GAT, and GraphSAGE layers for the graph baselines (Sec. IV-C).
+
+All three operate on simple drug graphs (the DDI graph or the SSG) and are
+built on :mod:`repro.nn`:
+
+- **GCN** (Kipf & Welling): ``H' = σ(Â H W)`` with the symmetric-normalised
+  adjacency ``Â = D^-1/2 (A+I) D^-1/2`` as a constant sparse operator.
+- **GAT** (Veličković et al.): single-head additive attention over edges,
+  computed with segment-softmax per destination node.
+- **GraphSAGE** (Hamilton et al.): mean aggregator,
+  ``h'_i = σ(W [h_i ∥ mean_{j∈N(i)} h_j])``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graphs import Graph, gcn_normalized_adjacency, row_normalized_adjacency
+from ..nn import Linear, Module, Tensor, init
+from ..nn import functional as F
+
+
+class GCNLayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng)
+
+    def forward(self, norm_adj: sp.spmatrix, x: Tensor) -> Tensor:
+        return F.sparse_matmul(norm_adj, self.linear(x))
+
+
+class GATLayer(Module):
+    """Single-head graph attention with self-loops."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
+                 negative_slope: float = 0.2):
+        super().__init__()
+        self.linear = Linear(in_dim, out_dim, rng, bias=False)
+        self.attn_src = init.xavier_uniform((out_dim,), rng)
+        self.attn_dst = init.xavier_uniform((out_dim,), rng)
+        self.negative_slope = negative_slope
+
+    def forward(self, edge_index: np.ndarray, num_nodes: int,
+                x: Tensor) -> Tensor:
+        """``edge_index`` is (2, E) directed (both directions + self loops)."""
+        h = self.linear(x)                                     # (N, out)
+        src, dst = edge_index[0], edge_index[1]
+        alpha_src = (h * self.attn_src).sum(axis=1)            # (N,)
+        alpha_dst = (h * self.attn_dst).sum(axis=1)
+        scores = F.leaky_relu(
+            F.gather_rows(alpha_src.reshape(-1, 1), src).reshape(len(src))
+            + F.gather_rows(alpha_dst.reshape(-1, 1), dst).reshape(len(dst)),
+            self.negative_slope)
+        attention = F.segment_softmax(scores, dst, num_nodes)
+        messages = F.gather_rows(h, src) * attention.reshape(-1, 1)
+        return F.segment_sum(messages, dst, num_nodes)
+
+    @staticmethod
+    def directed_edge_index(graph: Graph) -> np.ndarray:
+        """Both directions plus self-loops, shape (2, 2E + N)."""
+        edges = graph.edges
+        loops = np.arange(graph.num_nodes, dtype=np.int64)
+        src = np.concatenate([edges[:, 0], edges[:, 1], loops])
+        dst = np.concatenate([edges[:, 1], edges[:, 0], loops])
+        return np.stack([src, dst])
+
+
+class SAGELayer(Module):
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.linear = Linear(2 * in_dim, out_dim, rng)
+
+    def forward(self, mean_adj: sp.spmatrix, x: Tensor) -> Tensor:
+        neighbor_mean = F.sparse_matmul(mean_adj, x)
+        return self.linear(F.concat([x, neighbor_mean], axis=1))
+
+
+class GraphEncoder(Module):
+    """Two-layer GNN (paper: "each GNN model is used as a two-layer
+    architecture") over a simple graph, with a learnable input embedding
+    (the graphs carry no node features)."""
+
+    def __init__(self, model: str, graph: Graph, dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        model = model.lower()
+        if model not in ("gcn", "gat", "graphsage"):
+            raise ValueError(f"unknown GNN model {model!r}")
+        self.model = model
+        self.graph = graph
+        self.features = init.normal((graph.num_nodes, dim), rng, std=1.0)
+        if model == "gcn":
+            self.layer1 = GCNLayer(dim, dim, rng)
+            self.layer2 = GCNLayer(dim, dim, rng)
+            self._operator = gcn_normalized_adjacency(graph)
+        elif model == "graphsage":
+            self.layer1 = SAGELayer(dim, dim, rng)
+            self.layer2 = SAGELayer(dim, dim, rng)
+            self._operator = row_normalized_adjacency(graph)
+        else:
+            self.layer1 = GATLayer(dim, dim, rng)
+            self.layer2 = GATLayer(dim, dim, rng)
+            self._operator = GATLayer.directed_edge_index(graph)
+
+    def forward(self) -> Tensor:
+        x = self.features
+        if self.model == "gat":
+            h = F.elu(self.layer1(self._operator, self.graph.num_nodes, x))
+            return self.layer2(self._operator, self.graph.num_nodes, h)
+        h = F.relu(self.layer1(self._operator, x))
+        return self.layer2(self._operator, h)

@@ -1,0 +1,128 @@
+"""Unified baseline runner for the comparison tables (Tables V/VI, Fig. 4).
+
+Every baseline family reduces to: build drug representations from
+*training* information only, featurise pairs, classify.  The entry point
+:func:`run_baseline` dispatches on the paper's row names:
+
+- ``deepwalk`` / ``node2vec``       (RWE on DDI graph)
+- ``gcn-ddi`` / ``gat-ddi`` / ``graphsage-ddi``   (GNN on DDI graph)
+- ``gcn-ssg`` / ``gat-ssg`` / ``graphsage-ssg``   (GNN on SSG)
+- ``caster``
+- ``decagon``                        (TWOSIDES only; needs the multimodal graph)
+
+Information hygiene: the DDI graph and Decagon's drug-drug relation use only
+*training* positives; the SSG and CASTER use only SMILES (no labels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.dataset import DDIDataset
+from ..data.multimodal import build_multimodal_graph
+from ..data.splits import Split
+from ..data.synthetic import DrugUniverse
+from ..graphs import build_ddi_graph, build_ssg_graph
+from ..hypergraph import DrugHypergraphBuilder
+from ..metrics import EvaluationSummary
+from .caster import Caster, CasterConfig
+from .classifiers import LogisticRegression, pair_features
+from .decagon import Decagon, DecagonConfig
+from .embeddings import WalkConfig, deepwalk_embeddings, node2vec_embeddings
+from .unsupervised import UnsupervisedConfig, train_unsupervised_gnn
+
+RWE_BASELINES = ("deepwalk", "node2vec")
+GNN_MODELS = ("gcn", "gat", "graphsage")
+BASELINE_NAMES = RWE_BASELINES + tuple(
+    f"{m}-{g}" for g in ("ddi", "ssg") for m in GNN_MODELS
+) + ("caster", "decagon")
+
+
+@dataclass(frozen=True)
+class BaselineConfig:
+    """Shared knobs, scaled down by default to stay CPU-friendly.
+
+    ``walk`` carries the paper's random-walk parameters; ``espf_threshold``
+    and ``ssg_min_shared`` control the substructure similarity graph
+    (following Bumgardner et al.); ``unsupervised`` drives the GNN families.
+    """
+
+    walk: WalkConfig = field(default_factory=WalkConfig)
+    unsupervised: UnsupervisedConfig = field(default_factory=UnsupervisedConfig)
+    caster: CasterConfig = field(default_factory=CasterConfig)
+    decagon: DecagonConfig = field(default_factory=DecagonConfig)
+    espf_threshold: int = 5
+    ssg_min_shared: int = 2
+    classifier_epochs: int = 300
+    seed: int = 0
+
+
+def _train_positive_pairs(pairs: np.ndarray, labels: np.ndarray,
+                          split: Split) -> np.ndarray:
+    train_pairs = pairs[split.train]
+    train_labels = labels[split.train]
+    return train_pairs[train_labels == 1]
+
+
+def _classify(embeddings: np.ndarray, pairs: np.ndarray, labels: np.ndarray,
+              split: Split, config: BaselineConfig) -> EvaluationSummary:
+    classifier = LogisticRegression(epochs=config.classifier_epochs,
+                                    seed=config.seed)
+    classifier.fit(pair_features(embeddings, pairs[split.train]),
+                   labels[split.train])
+    scores = classifier.predict_proba(pair_features(embeddings,
+                                                    pairs[split.test]))
+    return EvaluationSummary.from_scores(labels[split.test], scores)
+
+
+def run_baseline(name: str, dataset: DDIDataset, pairs: np.ndarray,
+                 labels: np.ndarray, split: Split,
+                 config: BaselineConfig = BaselineConfig(),
+                 universe: DrugUniverse | None = None) -> EvaluationSummary:
+    """Run one named baseline end to end; returns test-set metrics."""
+    name = name.lower()
+    if name not in BASELINE_NAMES:
+        raise KeyError(f"unknown baseline {name!r}; one of {BASELINE_NAMES}")
+    pairs = np.asarray(pairs, dtype=np.int64)
+    labels = np.asarray(labels, dtype=np.float64)
+
+    if name in RWE_BASELINES:
+        graph = build_ddi_graph(dataset.num_drugs,
+                                _train_positive_pairs(pairs, labels, split))
+        embed_fn = (deepwalk_embeddings if name == "deepwalk"
+                    else node2vec_embeddings)
+        embeddings = embed_fn(graph, config.walk)
+        return _classify(embeddings, pairs, labels, split, config)
+
+    if name.endswith("-ddi"):
+        graph = build_ddi_graph(dataset.num_drugs,
+                                _train_positive_pairs(pairs, labels, split))
+        embeddings = train_unsupervised_gnn(name.split("-")[0], graph,
+                                            config.unsupervised)
+        return _classify(embeddings, pairs, labels, split, config)
+
+    if name.endswith("-ssg"):
+        builder = DrugHypergraphBuilder(
+            method="espf", parameter=config.espf_threshold
+        ).fit(dataset.smiles)
+        token_sets = builder.drug_token_sets(dataset.smiles)
+        graph = build_ssg_graph(token_sets, min_shared=config.ssg_min_shared)
+        embeddings = train_unsupervised_gnn(name.split("-")[0], graph,
+                                            config.unsupervised)
+        return _classify(embeddings, pairs, labels, split, config)
+
+    if name == "caster":
+        caster = Caster(config.caster)
+        caster.fit(dataset.smiles, pairs, labels, split)
+        return caster.evaluate(pairs[split.test], labels[split.test])
+
+    # Decagon: requires the multimodal substrate from the shared universe.
+    if universe is None:
+        raise ValueError("decagon requires the drug universe to derive the "
+                         "protein modality")
+    graph = build_multimodal_graph(universe, dataset, seed=config.seed)
+    decagon = Decagon(config.decagon)
+    decagon.fit(graph, pairs, labels, split)
+    return decagon.evaluate(pairs[split.test], labels[split.test])

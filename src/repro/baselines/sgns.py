@@ -1,0 +1,83 @@
+"""Skip-gram with negative sampling (word2vec) on random walks.
+
+The classic closed-form SGD updates (Mikolov et al., 2013), vectorised over
+minibatches of (center, context) pairs.  Shared by DeepWalk and node2vec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return np.where(x >= 0, 1.0 / (1.0 + np.exp(-np.clip(x, -500, None))),
+                    np.exp(np.clip(x, None, 500))
+                    / (1.0 + np.exp(np.clip(x, None, 500))))
+
+
+class SkipGramModel:
+    """Two embedding matrices (input/output) trained with negative sampling."""
+
+    def __init__(self, num_nodes: int, dim: int, seed: int = 0):
+        if num_nodes < 1 or dim < 1:
+            raise ValueError("num_nodes and dim must be positive")
+        rng = np.random.default_rng(seed)
+        self.num_nodes = num_nodes
+        self.dim = dim
+        self.in_embed = (rng.random((num_nodes, dim)) - 0.5) / dim
+        self.out_embed = np.zeros((num_nodes, dim))
+        self._rng = rng
+
+    def train(self, pairs: np.ndarray, epochs: int = 2,
+              negatives: int = 5, learning_rate: float = 0.025,
+              batch_size: int = 4096) -> "SkipGramModel":
+        """SGD over (center, context) pairs with ``negatives`` per positive."""
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.size == 0:
+            return self
+        for epoch in range(epochs):
+            lr = learning_rate * (1.0 - epoch / max(epochs, 1)) + 1e-4
+            order = self._rng.permutation(len(pairs))
+            for start in range(0, len(pairs), batch_size):
+                batch = pairs[order[start:start + batch_size]]
+                self._step(batch, negatives, lr)
+        return self
+
+    def _step(self, batch: np.ndarray, negatives: int, lr: float) -> None:
+        """One mean-per-row SGD step.
+
+        Within a batch, a frequent node may occur thousands of times; summing
+        all its updates (plain ``np.add.at``) multiplies the effective step
+        size by its occurrence count and diverges.  We therefore *average*
+        the per-occurrence gradients row-wise before applying them.
+        """
+        centers, contexts = batch[:, 0], batch[:, 1]
+        n = len(batch)
+        v = self.in_embed[centers]                                 # (n, d)
+        u_pos = self.out_embed[contexts]
+        score = _sigmoid((v * u_pos).sum(axis=1))                  # (n,)
+        g_pos = (score - 1.0)[:, None]                             # dL/dlogit
+        grad_v = g_pos * u_pos
+        neg = self._rng.integers(0, self.num_nodes, size=(n, negatives))
+        u_neg = self.out_embed[neg]                                # (n, k, d)
+        score_neg = _sigmoid(np.einsum("nd,nkd->nk", v, u_neg))
+        g_neg = score_neg[:, :, None]                              # (n, k, 1)
+        grad_v += np.einsum("nkd,nko->nd", u_neg, g_neg)
+
+        grad_in = np.zeros_like(self.in_embed)
+        np.add.at(grad_in, centers, grad_v)
+        counts_in = np.bincount(centers, minlength=self.num_nodes)
+        self.in_embed -= lr * grad_in / np.maximum(counts_in, 1)[:, None]
+
+        grad_out = np.zeros_like(self.out_embed)
+        np.add.at(grad_out, contexts, g_pos * v)
+        np.add.at(grad_out, neg.reshape(-1),
+                  (g_neg * v[:, None, :]).reshape(-1, self.dim))
+        counts_out = (np.bincount(contexts, minlength=self.num_nodes)
+                      + np.bincount(neg.reshape(-1), minlength=self.num_nodes))
+        self.out_embed -= lr * grad_out / np.maximum(counts_out, 1)[:, None]
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Node representations (the input embedding matrix, as usual)."""
+        return self.in_embed

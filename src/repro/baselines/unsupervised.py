@@ -1,0 +1,64 @@
+"""Unsupervised GNN training (paper: "we apply three different GNN models
+with unsupervised settings ... to get the representations of drugs").
+
+The standard unsupervised objective for featureless graphs is link
+reconstruction with negative sampling (as in GraphSAGE's unsupervised loss):
+dot-product scores on observed edges vs random non-edges, trained with BCE.
+The resulting embeddings are frozen and handed to the logistic-regression
+pair classifier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs import Graph
+from ..nn import Adam, Tensor, bce_with_logits
+from ..nn import functional as F
+from .gnn import GraphEncoder
+
+
+@dataclass(frozen=True)
+class UnsupervisedConfig:
+    dim: int = 64
+    epochs: int = 120
+    learning_rate: float = 5e-3
+    weight_decay: float = 1e-4
+    negatives_per_edge: int = 1
+    seed: int = 0
+
+
+def train_unsupervised_gnn(model: str, graph: Graph,
+                           config: UnsupervisedConfig = UnsupervisedConfig()
+                           ) -> np.ndarray:
+    """Train ``model`` ∈ {gcn, gat, graphsage} on ``graph``; return embeddings."""
+    rng = np.random.default_rng(config.seed)
+    encoder = GraphEncoder(model, graph, config.dim, rng)
+    optimizer = Adam(encoder.parameters(), lr=config.learning_rate,
+                     weight_decay=config.weight_decay)
+    edges = graph.edges
+    if len(edges) == 0:
+        # Degenerate graph (e.g. SSG with a too-strict threshold): return the
+        # untrained embedding table — downstream classifiers see noise, which
+        # is the honest behaviour.
+        return encoder.features.numpy().copy()
+
+    for _ in range(config.epochs):
+        optimizer.zero_grad()
+        embeddings = encoder()
+        neg = rng.integers(0, graph.num_nodes,
+                           size=(len(edges) * config.negatives_per_edge, 2))
+        neg = neg[neg[:, 0] != neg[:, 1]]
+        pairs = np.concatenate([edges, neg], axis=0)
+        labels = np.concatenate([np.ones(len(edges)), np.zeros(len(neg))])
+        left = F.gather_rows(embeddings, pairs[:, 0])
+        right = F.gather_rows(embeddings, pairs[:, 1])
+        logits = (left * right).sum(axis=1)
+        loss = bce_with_logits(logits, labels)
+        loss.backward()
+        optimizer.step()
+
+    encoder.eval()
+    return encoder().numpy().copy()

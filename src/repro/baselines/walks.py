@@ -1,0 +1,110 @@
+"""Random-walk generation for DeepWalk and node2vec.
+
+DeepWalk uses uniform first-order walks; node2vec biases the second-order
+transition by the return parameter ``p`` and in-out parameter ``q``
+(Grover & Leskovec, 2016).  The paper's settings (Sec. IV-B): walk length
+100, 10 walks per node, window 5.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs import Graph
+
+
+def _neighbor_lists(graph: Graph) -> list[np.ndarray]:
+    neighbors: list[list[int]] = [[] for _ in range(graph.num_nodes)]
+    for u, v in graph.edges:
+        neighbors[u].append(v)
+        neighbors[v].append(u)
+    return [np.array(sorted(n), dtype=np.int64) for n in neighbors]
+
+
+def uniform_random_walks(graph: Graph, num_walks: int, walk_length: int,
+                         seed: int = 0) -> list[np.ndarray]:
+    """DeepWalk walks: uniform neighbour choice, ``num_walks`` per node."""
+    if num_walks < 1 or walk_length < 1:
+        raise ValueError("num_walks and walk_length must be positive")
+    rng = np.random.default_rng(seed)
+    neighbors = _neighbor_lists(graph)
+    walks: list[np.ndarray] = []
+    for _ in range(num_walks):
+        for start in rng.permutation(graph.num_nodes):
+            if len(neighbors[start]) == 0:
+                continue
+            walk = [int(start)]
+            current = int(start)
+            for _ in range(walk_length - 1):
+                options = neighbors[current]
+                if len(options) == 0:
+                    break
+                current = int(options[rng.integers(len(options))])
+                walk.append(current)
+            walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def node2vec_walks(graph: Graph, num_walks: int, walk_length: int,
+                   p: float = 1.0, q: float = 0.5,
+                   seed: int = 0) -> list[np.ndarray]:
+    """Second-order biased walks.
+
+    Transition weight from ``prev -> current -> candidate``:
+    ``1/p`` to return to ``prev``, ``1`` to a common neighbour of ``prev``,
+    ``1/q`` otherwise.
+    """
+    if p <= 0 or q <= 0:
+        raise ValueError("p and q must be positive")
+    rng = np.random.default_rng(seed)
+    neighbors = _neighbor_lists(graph)
+    neighbor_sets = [set(n.tolist()) for n in neighbors]
+    walks: list[np.ndarray] = []
+    for _ in range(num_walks):
+        for start in rng.permutation(graph.num_nodes):
+            if len(neighbors[start]) == 0:
+                continue
+            walk = [int(start)]
+            current = int(start)
+            previous = -1
+            for _ in range(walk_length - 1):
+                options = neighbors[current]
+                if len(options) == 0:
+                    break
+                if previous < 0:
+                    nxt = int(options[rng.integers(len(options))])
+                else:
+                    weights = np.where(
+                        options == previous, 1.0 / p,
+                        np.where([o in neighbor_sets[previous] for o in options],
+                                 1.0, 1.0 / q))
+                    weights = weights / weights.sum()
+                    nxt = int(options[rng.choice(len(options), p=weights)])
+                walk.append(nxt)
+                previous, current = current, nxt
+            walks.append(np.array(walk, dtype=np.int64))
+    return walks
+
+
+def skipgram_pairs(walks: list[np.ndarray], window: int,
+                   seed: int = 0) -> np.ndarray:
+    """(center, context) training pairs within ``window`` of each position."""
+    if window < 1:
+        raise ValueError("window must be positive")
+    centers: list[np.ndarray] = []
+    contexts: list[np.ndarray] = []
+    for walk in walks:
+        n = len(walk)
+        for offset in range(1, window + 1):
+            if n <= offset:
+                continue
+            centers.append(walk[:-offset])
+            contexts.append(walk[offset:])
+            centers.append(walk[offset:])
+            contexts.append(walk[:-offset])
+    if not centers:
+        return np.empty((0, 2), dtype=np.int64)
+    pairs = np.stack([np.concatenate(centers), np.concatenate(contexts)],
+                     axis=1)
+    rng = np.random.default_rng(seed)
+    return pairs[rng.permutation(len(pairs))]

@@ -1,0 +1,16 @@
+"""``repro.chem`` — SMILES toolkit: tokenizer, validator, ESPF, k-mer, generator."""
+
+from .espf import ESPF
+from .fragments import FRAGMENT_LIBRARY, Fragment, fragment_by_name, fragment_sets
+from .generator import DrugRecord, MoleculeGenerator
+from .kmer import kmer_vocabulary, kmerize, kmerize_corpus
+from .tokenizer import SmilesTokenError, atom_count, is_atom_token, tokenize
+from .validate import SmilesValidationError, is_valid_smiles, validate_smiles
+
+__all__ = [
+    "ESPF", "Fragment", "FRAGMENT_LIBRARY", "fragment_by_name", "fragment_sets",
+    "DrugRecord", "MoleculeGenerator",
+    "kmerize", "kmerize_corpus", "kmer_vocabulary",
+    "tokenize", "is_atom_token", "atom_count", "SmilesTokenError",
+    "validate_smiles", "is_valid_smiles", "SmilesValidationError",
+]

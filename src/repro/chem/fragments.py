@@ -1,0 +1,115 @@
+"""Chemical fragment library for the synthetic molecule generator.
+
+The real datasets come from DrugBank / TWOSIDES via TDC; offline we compose
+drugs from a library of realistic SMILES fragments (functional groups, rings,
+linkers).  Every fragment starts with an atom and is self-contained (its ring
+digits close internally, its branches balance), so fragments concatenate into
+syntactically valid SMILES.
+
+A subset of fragments are *pharmacophores*: latent reactive groups used by
+:mod:`repro.data.synthetic` to decide which drug pairs interact.  That design
+makes the paper's core hypothesis — drugs sharing functional substructures
+have correlated interaction profiles — literally true in the generated data,
+so HyGNN's mechanism is exercised the same way the real data exercises it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Fragment:
+    """A named SMILES fragment.
+
+    ``terminal`` fragments end in a monovalent atom and may only appear at
+    the end of a chain or wrapped as a branch; chain fragments can appear
+    anywhere.  ``pharmacophore`` marks latent reactive groups.
+    """
+
+    name: str
+    smiles: str
+    terminal: bool = False
+    pharmacophore: bool = False
+
+
+# The library mixes common medicinal-chemistry motifs.  Pharmacophores are
+# chosen to be distinctive substrings so that ESPF / k-mer substructure
+# extraction can recover them from the composed SMILES.
+FRAGMENT_LIBRARY: tuple[Fragment, ...] = (
+    # --- simple chain linkers -------------------------------------------
+    Fragment("methylene", "C"),
+    Fragment("ethylene", "CC"),
+    Fragment("propylene", "CCC"),
+    Fragment("methine_branch", "C(C)"),
+    Fragment("gem_dimethyl", "C(C)(C)"),
+    Fragment("ether", "CO"),
+    Fragment("thioether", "CS"),
+    Fragment("secondary_amine", "CN"),
+    Fragment("alkene", "C=C"),
+    Fragment("alcohol_linker", "C(O)"),
+    # --- rings -----------------------------------------------------------
+    Fragment("benzene", "c1ccccc1"),
+    Fragment("toluene_core", "Cc1ccccc1"),
+    Fragment("cyclohexane", "C1CCCCC1"),
+    Fragment("cyclopentane", "C1CCCC1"),
+    Fragment("cyclopropane", "C1CC1"),
+    Fragment("pyridine", "c1ccncc1", pharmacophore=True),
+    Fragment("pyrrole", "c1cc[nH]c1", terminal=True),
+    Fragment("furan", "c1ccoc1", terminal=True),
+    Fragment("thiophene", "c1ccsc1", terminal=True),
+    Fragment("imidazole", "c1cnc[nH]1", terminal=True, pharmacophore=True),
+    Fragment("piperidine", "C1CCNCC1", pharmacophore=True),
+    Fragment("piperazine", "C1CNCCN1", pharmacophore=True),
+    Fragment("morpholine", "C1COCCN1"),
+    Fragment("tetrahydrofuran", "C1CCOC1"),
+    Fragment("naphthalene", "c1ccc2ccccc2c1", pharmacophore=True),
+    Fragment("dioxolane", "C1OCCO1"),
+    # --- functional groups -----------------------------------------------
+    Fragment("carboxylic_acid", "C(=O)O", pharmacophore=True),
+    Fragment("ester", "C(=O)OC", pharmacophore=True),
+    Fragment("amide", "C(=O)N", pharmacophore=True),
+    Fragment("ketone", "C(=O)C"),
+    Fragment("sulfonamide", "S(=O)(=O)N", pharmacophore=True),
+    Fragment("sulfone", "S(=O)(=O)C"),
+    Fragment("guanidine", "NC(N)=N", pharmacophore=True),
+    Fragment("urea", "NC(=O)N", pharmacophore=True),
+    Fragment("carbamate", "OC(=O)N"),
+    # --- terminal decorations --------------------------------------------
+    Fragment("fluoro", "F", terminal=True),
+    Fragment("chloro", "Cl", terminal=True),
+    Fragment("bromo", "Br", terminal=True),
+    Fragment("trifluoromethyl", "C(F)(F)F", terminal=True, pharmacophore=True),
+    Fragment("nitrile", "C#N", terminal=True, pharmacophore=True),
+    Fragment("nitro", "[N+](=O)[O-]", terminal=True, pharmacophore=True),
+    Fragment("hydroxyl", "O", terminal=True),
+    Fragment("primary_amine", "N", terminal=True, pharmacophore=True),
+    Fragment("methoxy", "OC", terminal=True),
+    Fragment("thiol", "S", terminal=True),
+)
+
+
+@dataclass(frozen=True)
+class FragmentSets:
+    """Pre-split views of the library used by the generator."""
+
+    all_fragments: tuple[Fragment, ...]
+    chain: tuple[Fragment, ...] = field(default=())
+    terminal: tuple[Fragment, ...] = field(default=())
+    pharmacophores: tuple[Fragment, ...] = field(default=())
+
+
+def fragment_sets(library: tuple[Fragment, ...] = FRAGMENT_LIBRARY) -> FragmentSets:
+    chain = tuple(f for f in library if not f.terminal)
+    terminal = tuple(f for f in library if f.terminal)
+    pharmacophores = tuple(f for f in library if f.pharmacophore)
+    return FragmentSets(all_fragments=library, chain=chain,
+                        terminal=terminal, pharmacophores=pharmacophores)
+
+
+def fragment_by_name(name: str,
+                     library: tuple[Fragment, ...] = FRAGMENT_LIBRARY) -> Fragment:
+    for fragment in library:
+        if fragment.name == name:
+            return fragment
+    raise KeyError(f"unknown fragment: {name}")

@@ -1,0 +1,61 @@
+"""SMILES tokenisation.
+
+ESPF (paper Algorithm 2) starts from "initial SMILES tokens as atoms and
+bonds"; this module produces that initial token stream.  The tokenizer
+recognises the standard SMILES lexicon: bracket atoms ``[...]``, two-letter
+organic-subset atoms (Cl, Br), aromatic atoms, bonds, branches, and ring
+closures (including ``%nn`` two-digit closures).
+"""
+
+from __future__ import annotations
+
+import re
+
+# Order matters: longest alternatives first.
+_TOKEN_PATTERN = re.compile(
+    r"(\[[^\]]+\]"          # bracket atom, e.g. [N+], [nH], [O-]
+    r"|Br|Cl"               # two-letter organic atoms
+    r"|%\d{2}"              # two-digit ring closure
+    r"|[BCNOPSFI]"          # one-letter organic atoms
+    r"|[bcnops]"            # aromatic atoms
+    r"|[-=#$:/\\]"          # bonds
+    r"|[().]"               # branches / disconnection
+    r"|\d)"                 # single-digit ring closure
+)
+
+_ATOM_PATTERN = re.compile(r"^(\[[^\]]+\]|Br|Cl|[BCNOPSFI]|[bcnops])$")
+
+
+class SmilesTokenError(ValueError):
+    """Raised when a SMILES string contains characters outside the lexicon."""
+
+
+def tokenize(smiles: str) -> list[str]:
+    """Split a SMILES string into its lexical tokens.
+
+    Raises :class:`SmilesTokenError` if any character cannot be consumed,
+    which is the first line of defence against malformed inputs.
+    """
+    if not smiles:
+        raise SmilesTokenError("empty SMILES string")
+    tokens: list[str] = []
+    position = 0
+    while position < len(smiles):
+        match = _TOKEN_PATTERN.match(smiles, position)
+        if match is None:
+            raise SmilesTokenError(
+                f"unrecognised SMILES syntax at position {position}: "
+                f"{smiles[position:position + 8]!r}")
+        tokens.append(match.group(0))
+        position = match.end()
+    return tokens
+
+
+def is_atom_token(token: str) -> bool:
+    """True if ``token`` denotes an atom (bracketed, organic, or aromatic)."""
+    return bool(_ATOM_PATTERN.match(token))
+
+
+def atom_count(smiles: str) -> int:
+    """Number of atom tokens in a SMILES string."""
+    return sum(1 for token in tokenize(smiles) if is_atom_token(token))

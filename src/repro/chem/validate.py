@@ -1,0 +1,87 @@
+"""Syntactic SMILES validation.
+
+The paper's pipeline consumes SMILES as *text* (ESPF and k-mer never touch
+3-D structure), so validity here means lexical and structural well-formedness:
+balanced branches, closed rings, bonds in legal positions.  This replaces the
+RDKit sanity check an online reproduction would use.
+"""
+
+from __future__ import annotations
+
+from .tokenizer import SmilesTokenError, is_atom_token, tokenize
+
+_BONDS = {"-", "=", "#", "$", ":", "/", "\\"}
+
+
+class SmilesValidationError(ValueError):
+    """Raised by :func:`validate_smiles` on structurally invalid input."""
+
+
+def validate_smiles(smiles: str) -> list[str]:
+    """Validate ``smiles`` and return its token list.
+
+    Checks performed:
+
+    - lexical validity (via the tokenizer),
+    - the string starts with an atom,
+    - branch parentheses balance, never close early, and are non-empty,
+    - no ``((`` or ``()`` sequences; branches follow an atom or ring closure,
+    - every ring-closure digit opened is closed (digits toggle open/close),
+    - bond symbols connect two atoms (not dangling at the end or before ')').
+    """
+    try:
+        tokens = tokenize(smiles)
+    except SmilesTokenError as exc:
+        raise SmilesValidationError(str(exc)) from exc
+
+    if not is_atom_token(tokens[0]):
+        raise SmilesValidationError(
+            f"SMILES must start with an atom, got {tokens[0]!r}")
+
+    depth = 0
+    open_rings: set[str] = set()
+    previous = None
+    for index, token in enumerate(tokens):
+        if token == "(":
+            if previous is None or previous in _BONDS or previous == "(":
+                raise SmilesValidationError(
+                    f"branch at position {index} does not follow an atom")
+            depth += 1
+        elif token == ")":
+            if depth == 0:
+                raise SmilesValidationError("unbalanced ')' branch close")
+            if previous == "(":
+                raise SmilesValidationError("empty branch '()'")
+            if previous in _BONDS:
+                raise SmilesValidationError("bond dangling before ')'")
+            depth -= 1
+        elif token in _BONDS:
+            if previous is None:
+                raise SmilesValidationError("SMILES cannot start with a bond")
+        elif token.isdigit() or token.startswith("%"):
+            ring_id = token.lstrip("%")
+            if previous is None or previous == "(":
+                raise SmilesValidationError(
+                    f"ring closure {token!r} must follow an atom")
+            if ring_id in open_rings:
+                open_rings.remove(ring_id)
+            else:
+                open_rings.add(ring_id)
+        previous = token
+
+    if depth != 0:
+        raise SmilesValidationError(f"{depth} unclosed branch(es)")
+    if open_rings:
+        raise SmilesValidationError(f"unclosed ring closure(s): {sorted(open_rings)}")
+    if previous in _BONDS:
+        raise SmilesValidationError("SMILES ends with a dangling bond")
+    return tokens
+
+
+def is_valid_smiles(smiles: str) -> bool:
+    """Boolean convenience wrapper around :func:`validate_smiles`."""
+    try:
+        validate_smiles(smiles)
+    except SmilesValidationError:
+        return False
+    return True

@@ -1,0 +1,108 @@
+"""The two attention levels of the HyGNN hyperedge encoder (Eqs. 4-9).
+
+Both levels operate on the hypergraph *incidence list* — parallel arrays
+``(node_ids, edge_ids)`` with one entry per (substructure ∈ drug)
+membership — which makes each level a segment-softmax followed by a
+segment-sum, i.e. O(nnz · d) rather than O(|V| · |E| · d).
+
+Eq. (6)/(9) score the affinity between a node and a hyperedge as
+``β(W_a x ∗ W_b y)`` with ``∗`` the element-wise product and β a LeakyReLU;
+the element-wise product is reduced to a scalar by summation (a bilinear
+dot-product attention), the standard reading of the paper's notation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from ..nn import functional as F
+
+
+class HyperedgeLevelAttention(Module):
+    """Eq. (4)-(6): aggregate hyperedge features into node features.
+
+    ``p_i = α( Σ_{e_j ∋ v_i} Y_ij · W1 q_j )`` with attention coefficients
+    ``Y_ij = softmax_j( β(W2 q_j ∗ W3 p_i) )`` normalised over the
+    hyperedges ``E_i`` incident to node *i*.
+    """
+
+    def __init__(self, node_dim: int, edge_dim: int, out_dim: int,
+                 rng: np.random.Generator, attention_dim: int | None = None,
+                 negative_slope: float = 0.2):
+        super().__init__()
+        attention_dim = attention_dim or out_dim
+        self.w1 = Linear(edge_dim, out_dim, rng, bias=False)
+        self.w2 = Linear(edge_dim, attention_dim, rng, bias=False)
+        self.w3 = Linear(node_dim, attention_dim, rng, bias=False)
+        self.negative_slope = negative_slope
+
+    def forward(self, node_feats: Tensor, edge_feats: Tensor,
+                node_ids: np.ndarray, edge_ids: np.ndarray) -> Tensor:
+        num_nodes = node_feats.shape[0]
+        transformed = self.w1(edge_feats)                    # (E, out)
+        keys = self.w2(edge_feats)                           # (E, a)
+        queries = self.w3(node_feats)                        # (V, a)
+        # Eq. (6): score per incidence entry, grouped by node.
+        scores = F.leaky_relu(
+            (F.gather_rows(keys, edge_ids) * F.gather_rows(queries, node_ids)
+             ).sum(axis=1),
+            self.negative_slope)
+        # Eq. (5): softmax over the hyperedges containing each node.
+        attention = F.segment_softmax(scores, node_ids, num_nodes)
+        # Eq. (4): attention-weighted sum of transformed hyperedge features.
+        messages = (F.gather_rows(transformed, edge_ids)
+                    * attention.reshape(-1, 1))
+        aggregated = F.segment_sum(messages, node_ids, num_nodes)
+        return F.leaky_relu(aggregated, self.negative_slope)
+
+
+class NodeLevelAttention(Module):
+    """Eq. (7)-(9): aggregate node features into hyperedge (drug) features.
+
+    ``q_j = α( Σ_{v_i ∈ e_j} X_ji · W4 p_i )`` with coefficients
+    ``X_ji = softmax_i( β(W5 p_i ∗ W6 q_j) )`` normalised over the nodes of
+    each hyperedge.
+    """
+
+    def __init__(self, node_dim: int, edge_dim: int, out_dim: int,
+                 rng: np.random.Generator, attention_dim: int | None = None,
+                 negative_slope: float = 0.2):
+        super().__init__()
+        attention_dim = attention_dim or out_dim
+        self.w4 = Linear(node_dim, out_dim, rng, bias=False)
+        self.w5 = Linear(node_dim, attention_dim, rng, bias=False)
+        self.w6 = Linear(edge_dim, attention_dim, rng, bias=False)
+        self.negative_slope = negative_slope
+
+    def forward(self, node_feats: Tensor, edge_feats: Tensor,
+                node_ids: np.ndarray, edge_ids: np.ndarray) -> Tensor:
+        num_edges = edge_feats.shape[0]
+        transformed = self.w4(node_feats)                    # (V, out)
+        keys = self.w5(node_feats)                           # (V, a)
+        queries = self.w6(edge_feats)                        # (E, a)
+        # Eq. (9): score per incidence entry, grouped by hyperedge.
+        scores = F.leaky_relu(
+            (F.gather_rows(keys, node_ids) * F.gather_rows(queries, edge_ids)
+             ).sum(axis=1),
+            self.negative_slope)
+        # Eq. (8): softmax over the nodes inside each hyperedge.
+        attention = F.segment_softmax(scores, edge_ids, num_edges)
+        # Eq. (7): attention-weighted sum of transformed node features.
+        messages = (F.gather_rows(transformed, node_ids)
+                    * attention.reshape(-1, 1))
+        aggregated = F.segment_sum(messages, edge_ids, num_edges)
+        return F.leaky_relu(aggregated, self.negative_slope)
+
+    def attention_weights(self, node_feats: Tensor, edge_feats: Tensor,
+                          node_ids: np.ndarray, edge_ids: np.ndarray
+                          ) -> np.ndarray:
+        """Expose X_ji per incidence entry (for substructure importance)."""
+        keys = self.w5(node_feats)
+        queries = self.w6(edge_feats)
+        scores = F.leaky_relu(
+            (F.gather_rows(keys, node_ids) * F.gather_rows(queries, edge_ids)
+             ).sum(axis=1),
+            self.negative_slope)
+        return F.segment_softmax(scores, edge_ids,
+                                 edge_feats.shape[0]).numpy()

@@ -1,0 +1,53 @@
+"""HyGNN decoders (paper Sec. III-C2, Eqs. 10-12).
+
+Both decoders map a pair of drug embeddings to a raw interaction score
+(logit); the sigmoid lives in the loss / prediction step, matching the
+paper's ``σ(γ(q_x, q_y))`` formulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+from ..nn import functional as F
+
+
+class MLPDecoder(Module):
+    """Eq. (11): ``γ(q_x, q_y) = f2(f1(q_x ∥ q_y))``.
+
+    Two affine layers with a ReLU between them (the paper uses ReLU on the
+    decoder side, Sec. IV-B); output is a scalar logit per pair.
+    """
+
+    def __init__(self, embed_dim: int, hidden_dim: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.f1 = Linear(2 * embed_dim, hidden_dim, rng)
+        self.f2 = Linear(hidden_dim, 1, rng)
+
+    def forward(self, left: Tensor, right: Tensor) -> Tensor:
+        pair = F.concat([left, right], axis=1)
+        hidden = F.relu(self.f1(pair))
+        return self.f2(hidden).reshape(len(left))
+
+
+class DotDecoder(Module):
+    """Eq. (12): element-wise dot product ``q_x · q_y`` (no parameters)."""
+
+    def __init__(self):
+        super().__init__()
+
+    def forward(self, left: Tensor, right: Tensor) -> Tensor:
+        return (left * right).sum(axis=1)
+
+
+def make_decoder(kind: str, embed_dim: int, hidden_dim: int,
+                 rng: np.random.Generator) -> Module:
+    """Factory for the two decoder types compared throughout Sec. IV."""
+    kind = kind.lower()
+    if kind == "mlp":
+        return MLPDecoder(embed_dim, hidden_dim, rng)
+    if kind == "dot":
+        return DotDecoder()
+    raise ValueError(f"unknown decoder {kind!r}; expected 'mlp' or 'dot'")

@@ -1,0 +1,66 @@
+"""The complete HyGNN model: encoder + decoder (paper Sec. III-C)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..hypergraph import DrugHypergraphBuilder, Hypergraph
+from ..nn import Module, Tensor
+from ..nn import functional as F
+from .config import HyGNNConfig
+from .decoder import make_decoder
+from .encoder import HyGNNEncoder
+
+
+class HyGNN(Module):
+    """Hypergraph neural network for drug-drug interaction prediction."""
+
+    def __init__(self, num_substructures: int, config: HyGNNConfig):
+        super().__init__()
+        self.config = config
+        rng = np.random.default_rng(config.seed)
+        self.encoder = HyGNNEncoder(
+            num_substructures=num_substructures,
+            embed_dim=config.embed_dim,
+            hidden_dim=config.hidden_dim,
+            rng=rng,
+            num_layers=config.num_layers,
+            dropout=config.dropout,
+        )
+        self.decoder = make_decoder(config.decoder, config.hidden_dim,
+                                    config.hidden_dim, rng)
+
+    @classmethod
+    def for_corpus(cls, smiles_corpus: list[str],
+                   config: HyGNNConfig) -> tuple["HyGNN", Hypergraph,
+                                                 DrugHypergraphBuilder]:
+        """Build the hypergraph for a corpus and a matching model."""
+        builder = DrugHypergraphBuilder(method=config.method,
+                                        parameter=config.parameter)
+        hypergraph = builder.fit_transform(smiles_corpus)
+        model = cls(num_substructures=hypergraph.num_nodes, config=config)
+        return model, hypergraph, builder
+
+    # ------------------------------------------------------------------
+    def embed_drugs(self, hypergraph: Hypergraph) -> Tensor:
+        """Encoder output: one embedding per hyperedge (drug)."""
+        return self.encoder.encode_hypergraph(hypergraph)
+
+    def forward(self, hypergraph: Hypergraph, pairs: np.ndarray) -> Tensor:
+        """Raw interaction logits for ``pairs`` (indices into hyperedges)."""
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        embeddings = self.embed_drugs(hypergraph)
+        left = F.gather_rows(embeddings, pairs[:, 0])
+        right = F.gather_rows(embeddings, pairs[:, 1])
+        return self.decoder(left, right)
+
+    def predict_proba(self, hypergraph: Hypergraph,
+                      pairs: np.ndarray) -> np.ndarray:
+        """Interaction probabilities σ(γ(q_x, q_y)), Eq. (10)."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.forward(hypergraph, pairs)
+            return F.sigmoid(logits).numpy().copy()
+        finally:
+            self.train(was_training)

@@ -1,0 +1,81 @@
+"""Model persistence: save/load a trained HyGNN with its vocabulary.
+
+A deployed DDI screener needs three things to reproduce predictions: the
+trained weights, the model configuration, and the substructure vocabulary
+the hypergraph builder was fitted with.  This module bundles all three into
+a single ``.npz`` archive (numpy-only, no pickle of code objects).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+
+import numpy as np
+
+from ..hypergraph import DrugHypergraphBuilder
+from .config import HyGNNConfig
+from .model import HyGNN
+
+_FORMAT_VERSION = 1
+
+
+def save_model(path: str | Path, model: HyGNN,
+               builder: DrugHypergraphBuilder) -> None:
+    """Serialise ``model`` + ``builder`` vocabulary to ``path`` (.npz)."""
+    path = Path(path)
+    vocab = builder.vocabulary
+    tokens = list(vocab)
+    indices = np.array([vocab[t] for t in tokens], dtype=np.int64)
+    meta = {
+        "format_version": _FORMAT_VERSION,
+        "config": asdict(model.config),
+        "builder": {"method": builder.method, "parameter": builder.parameter},
+        "num_substructures": model.encoder.num_substructures,
+    }
+    espf_merges = []
+    if builder.method == "espf":
+        espf_merges = ["\x00".join(pair) for pair in builder._espf.merges]
+    arrays = {f"param:{name}": value
+              for name, value in model.state_dict().items()}
+    np.savez(path, __meta__=np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+        vocab_tokens=np.array(tokens, dtype=object),
+        vocab_indices=indices,
+        espf_merges=np.array(espf_merges, dtype=object),
+        **arrays)
+
+
+def load_model(path: str | Path) -> tuple[HyGNN, DrugHypergraphBuilder]:
+    """Restore a (model, builder) pair saved by :func:`save_model`."""
+    path = Path(path)
+    with np.load(path, allow_pickle=True) as archive:
+        meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
+        if meta["format_version"] != _FORMAT_VERSION:
+            raise ValueError(f"unsupported model format "
+                             f"{meta['format_version']}")
+        config = HyGNNConfig(**meta["config"])
+        model = HyGNN(num_substructures=meta["num_substructures"],
+                      config=config)
+        state = {name[len("param:"):]: archive[name]
+                 for name in archive.files if name.startswith("param:")}
+        model.load_state_dict(state)
+        model.eval()
+
+        builder = DrugHypergraphBuilder(
+            method=meta["builder"]["method"],
+            parameter=meta["builder"]["parameter"])
+        tokens = archive["vocab_tokens"].tolist()
+        indices = archive["vocab_indices"].tolist()
+        builder._vocab = {token: int(index)
+                          for token, index in zip(tokens, indices)}
+        if builder.method == "espf":
+            from ..chem.espf import ESPF
+            espf = ESPF(frequency_threshold=builder.parameter)
+            espf.merges = [tuple(entry.split("\x00"))
+                           for entry in archive["espf_merges"].tolist()]
+            espf._fitted = True
+            builder._espf = espf
+        builder._fitted = True
+    return model, builder

@@ -1,0 +1,23 @@
+"""``repro.data`` — DDI corpora, negative sampling, splits, multimodal graph."""
+
+from .dataset import DDIDataset, canonical_pairs
+from .multimodal import MultiModalGraph, build_multimodal_graph
+from .negative import balanced_pairs_and_labels, sample_negative_pairs
+from .registry import DATASET_NAMES, load_benchmark, load_dataset
+from .splits import Split, cold_start_split, random_split
+from .synthetic import (DDIBenchmark, DrugUniverse, InteractionModel,
+                        make_benchmark, scaled_counts,
+                        DRUGBANK_DDIS, DRUGBANK_DRUGS, DRUGBANK_DENSITY,
+                        TWOSIDES_DDIS, TWOSIDES_DRUGS, TWOSIDES_DENSITY)
+
+__all__ = [
+    "DDIDataset", "canonical_pairs",
+    "MultiModalGraph", "build_multimodal_graph",
+    "balanced_pairs_and_labels", "sample_negative_pairs",
+    "DATASET_NAMES", "load_benchmark", "load_dataset",
+    "Split", "cold_start_split", "random_split",
+    "DDIBenchmark", "DrugUniverse", "InteractionModel", "make_benchmark",
+    "scaled_counts",
+    "TWOSIDES_DRUGS", "TWOSIDES_DDIS", "TWOSIDES_DENSITY",
+    "DRUGBANK_DRUGS", "DRUGBANK_DDIS", "DRUGBANK_DENSITY",
+]

@@ -1,0 +1,91 @@
+"""Core dataset container for drug-drug interaction corpora."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..chem.generator import DrugRecord
+
+
+def canonical_pairs(pairs: np.ndarray) -> np.ndarray:
+    """Sort each pair so that the smaller index comes first."""
+    pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+    return np.sort(pairs, axis=1)
+
+
+@dataclass
+class DDIDataset:
+    """A DDI corpus: drugs with SMILES plus known positive interactions.
+
+    Mirrors what TDC provides for TWOSIDES / DrugBank (Table I): a drug list
+    and a set of interacting pairs.  Pairs are stored canonically
+    (``i < j``); the interaction relation is symmetric.
+    """
+
+    name: str
+    drugs: list[DrugRecord]
+    positive_pairs: np.ndarray
+    universe_indices: np.ndarray = field(default=None)
+
+    def __post_init__(self):
+        self.positive_pairs = canonical_pairs(self.positive_pairs)
+        n = len(self.drugs)
+        if self.positive_pairs.size:
+            if self.positive_pairs.max() >= n or self.positive_pairs.min() < 0:
+                raise ValueError("positive pair index out of range")
+            if (self.positive_pairs[:, 0] == self.positive_pairs[:, 1]).any():
+                raise ValueError("self-interactions are not allowed")
+        # Deduplicate.
+        self.positive_pairs = np.unique(self.positive_pairs, axis=0)
+        if self.universe_indices is None:
+            self.universe_indices = np.arange(n, dtype=np.int64)
+        else:
+            self.universe_indices = np.asarray(self.universe_indices,
+                                               dtype=np.int64)
+        self._positive_set = {(int(i), int(j)) for i, j in self.positive_pairs}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_drugs(self) -> int:
+        return len(self.drugs)
+
+    @property
+    def num_ddis(self) -> int:
+        return len(self.positive_pairs)
+
+    @property
+    def num_possible_pairs(self) -> int:
+        n = self.num_drugs
+        return n * (n - 1) // 2
+
+    @property
+    def density(self) -> float:
+        """Fraction of all unordered pairs that are labeled positive."""
+        return self.num_ddis / max(self.num_possible_pairs, 1)
+
+    @property
+    def smiles(self) -> list[str]:
+        return [drug.smiles for drug in self.drugs]
+
+    def is_positive(self, i: int, j: int) -> bool:
+        if i == j:
+            return False
+        key = (min(i, j), max(i, j))
+        return key in self._positive_set
+
+    def drug_by_id(self, drug_id: str) -> DrugRecord:
+        for drug in self.drugs:
+            if drug.drug_id == drug_id:
+                return drug
+        raise KeyError(f"unknown drug id {drug_id!r} in dataset {self.name!r}")
+
+    def statistics(self) -> dict:
+        """The Table I row for this dataset."""
+        return {"dataset": self.name, "num_drugs": self.num_drugs,
+                "num_ddis": self.num_ddis, "density": round(self.density, 4)}
+
+    def __repr__(self) -> str:
+        return (f"DDIDataset(name={self.name!r}, drugs={self.num_drugs}, "
+                f"ddis={self.num_ddis})")

@@ -1,0 +1,84 @@
+"""Negative sampling for DDI training.
+
+The paper (Sec. IV-A): "we randomly sample a drug pair from the complement
+set of positive samples for each positive sample", producing a balanced
+corpus.  We reproduce that exactly, with rejection sampling against the
+positive set and an optional extra exclusion set (e.g. pairs reserved for a
+case study).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dataset import DDIDataset, canonical_pairs
+
+
+def sample_negative_pairs(num_drugs: int, positive_pairs: np.ndarray,
+                          n_samples: int, seed: int = 0,
+                          exclude: set[tuple[int, int]] | None = None
+                          ) -> np.ndarray:
+    """Sample ``n_samples`` distinct non-positive, non-self pairs.
+
+    Raises ``ValueError`` when the complement set is too small to satisfy
+    the request.
+    """
+    positive_pairs = canonical_pairs(positive_pairs)
+    forbidden = {(int(i), int(j)) for i, j in positive_pairs}
+    if exclude:
+        forbidden |= {(min(a, b), max(a, b)) for a, b in exclude}
+    total_pairs = num_drugs * (num_drugs - 1) // 2
+    available = total_pairs - len(forbidden)
+    if n_samples > available:
+        raise ValueError(f"requested {n_samples} negatives but only "
+                         f"{available} non-positive pairs exist")
+
+    rng = np.random.default_rng(seed)
+    chosen: set[tuple[int, int]] = set()
+    result = np.empty((n_samples, 2), dtype=np.int64)
+    count = 0
+    # Rejection sampling with batch draws; dense fallback when nearly full.
+    while count < n_samples:
+        remaining = n_samples - count
+        batch = rng.integers(0, num_drugs, size=(max(remaining * 2, 64), 2))
+        batch = batch[batch[:, 0] != batch[:, 1]]
+        batch = np.sort(batch, axis=1)
+        for i, j in batch:
+            key = (int(i), int(j))
+            if key in forbidden or key in chosen:
+                continue
+            chosen.add(key)
+            result[count] = key
+            count += 1
+            if count == n_samples:
+                break
+        if count < n_samples and len(chosen) + len(forbidden) > 0.8 * total_pairs:
+            # Dense fallback: enumerate the complement explicitly.
+            upper = np.triu(np.ones((num_drugs, num_drugs), dtype=bool), 1)
+            for i, j in forbidden | chosen:
+                upper[i, j] = False
+            rows, cols = np.nonzero(upper)
+            pool = np.stack([rows, cols], axis=1)
+            picks = rng.choice(len(pool), size=n_samples - count, replace=False)
+            result[count:] = pool[picks]
+            count = n_samples
+    return result
+
+
+def balanced_pairs_and_labels(dataset: DDIDataset, seed: int = 0,
+                              exclude: set[tuple[int, int]] | None = None
+                              ) -> tuple[np.ndarray, np.ndarray]:
+    """Positives plus an equal number of sampled negatives, shuffled.
+
+    Returns ``(pairs, labels)`` where ``pairs`` is (2N, 2) and ``labels`` is
+    the 0/1 vector; this is the balanced corpus every model trains on.
+    """
+    positives = dataset.positive_pairs
+    negatives = sample_negative_pairs(dataset.num_drugs, positives,
+                                      len(positives), seed=seed,
+                                      exclude=exclude)
+    pairs = np.concatenate([positives, negatives], axis=0)
+    labels = np.concatenate([np.ones(len(positives)), np.zeros(len(negatives))])
+    rng = np.random.default_rng(seed + 1)
+    order = rng.permutation(len(pairs))
+    return pairs[order], labels[order]

@@ -1,0 +1,30 @@
+"""Cached access to the paired benchmark corpora.
+
+Experiments repeatedly ask for "TWOSIDES at scale s, seed k"; regenerating
+the universe each time would dominate runtime, so benchmarks are memoised on
+``(scale, seed)``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .dataset import DDIDataset
+from .synthetic import DDIBenchmark, make_benchmark
+
+DATASET_NAMES = ("twosides", "drugbank")
+
+
+@lru_cache(maxsize=8)
+def load_benchmark(scale: float = 1.0, seed: int = 0) -> DDIBenchmark:
+    """The paired TWOSIDES-like / DrugBank-like corpora (memoised)."""
+    return make_benchmark(scale=scale, seed=seed)
+
+
+def load_dataset(name: str, scale: float = 1.0, seed: int = 0) -> DDIDataset:
+    """Load one corpus by its paper name (case-insensitive)."""
+    key = name.lower()
+    if key not in DATASET_NAMES:
+        raise KeyError(f"unknown dataset {name!r}; choose from {DATASET_NAMES}")
+    benchmark = load_benchmark(scale=scale, seed=seed)
+    return benchmark.twosides if key == "twosides" else benchmark.drugbank

@@ -1,0 +1,77 @@
+"""Train/validation/test splitting.
+
+Three regimes from the paper:
+
+- **random split** 80/10/10 over labeled pairs (Sec. IV-B), repeated over
+  seeds and averaged;
+- **training-size sweep** for Fig. 4 (train fraction 10%..80%);
+- **cold-start split** for Table IX: 5% of drugs are removed from training
+  entirely; every pair touching them is test-only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Split:
+    """Index sets into a (pairs, labels) corpus."""
+
+    train: np.ndarray
+    val: np.ndarray
+    test: np.ndarray
+
+    def sizes(self) -> tuple[int, int, int]:
+        return len(self.train), len(self.val), len(self.test)
+
+
+def random_split(n_samples: int, seed: int = 0, train_fraction: float = 0.8,
+                 val_fraction: float = 0.1) -> Split:
+    """Shuffle indices and cut at the requested fractions."""
+    if n_samples < 3:
+        raise ValueError("need at least 3 samples to split")
+    if train_fraction <= 0 or val_fraction < 0:
+        raise ValueError("fractions must be positive")
+    if train_fraction + val_fraction >= 1.0:
+        raise ValueError("train + val fractions must leave room for test")
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(n_samples)
+    n_train = max(int(round(n_samples * train_fraction)), 1)
+    n_val = max(int(round(n_samples * val_fraction)), 1)
+    n_train = min(n_train, n_samples - 2)
+    n_val = min(n_val, n_samples - n_train - 1)
+    return Split(train=order[:n_train],
+                 val=order[n_train:n_train + n_val],
+                 test=order[n_train + n_val:])
+
+
+def cold_start_split(pairs: np.ndarray, num_drugs: int, seed: int = 0,
+                     unseen_fraction: float = 0.05,
+                     val_fraction: float = 0.1
+                     ) -> tuple[Split, np.ndarray]:
+    """Table IX regime: hold out a fraction of *drugs* as never-trained.
+
+    Pairs touching an unseen drug form the test set; the remaining pairs are
+    split into train/val.  Returns the split and the unseen drug ids.
+    """
+    pairs = np.asarray(pairs)
+    rng = np.random.default_rng(seed)
+    n_unseen = max(int(round(num_drugs * unseen_fraction)), 1)
+    unseen = rng.choice(num_drugs, size=n_unseen, replace=False)
+    unseen_mask = np.zeros(num_drugs, dtype=bool)
+    unseen_mask[unseen] = True
+
+    touches_unseen = unseen_mask[pairs[:, 0]] | unseen_mask[pairs[:, 1]]
+    test_idx = np.nonzero(touches_unseen)[0]
+    rest = np.nonzero(~touches_unseen)[0]
+    if len(test_idx) == 0:
+        raise ValueError("no pair touches an unseen drug; enlarge the corpus")
+    if len(rest) < 2:
+        raise ValueError("not enough seen-only pairs to train on")
+    rest = rng.permutation(rest)
+    n_val = max(int(round(len(rest) * val_fraction)), 1)
+    return (Split(train=rest[n_val:], val=rest[:n_val], test=test_idx),
+            unseen)

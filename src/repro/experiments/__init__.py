@@ -1,0 +1,25 @@
+"""``repro.experiments`` — harness regenerating every paper table/figure.
+
+Each artifact has a ``run_*`` function returning an
+:class:`~repro.experiments.base.ExperimentResult` with measured and
+published rows.  See ``python -m repro.experiments.run --help``.
+"""
+
+from .ablation import run_ablation
+from .base import DEFAULT, FAST, FULL, PROFILES, ExperimentResult, RunProfile
+from .case_study import run_table7, run_table8, select_cross_labeled_pairs
+from .comparison import run_hygnn_variant, run_table5, run_table6
+from .new_drugs import run_cold_start, run_table9
+from .run import EXPERIMENTS
+from .sweeps import run_fig2, run_fig3
+from .tables import run_table1, run_table2, run_table3, run_table4
+from .training_size import run_fig4
+
+__all__ = [
+    "ExperimentResult", "RunProfile", "PROFILES", "FAST", "DEFAULT", "FULL",
+    "EXPERIMENTS",
+    "run_table1", "run_table2", "run_table3", "run_table4",
+    "run_table5", "run_table6", "run_table7", "run_table8", "run_table9",
+    "run_fig2", "run_fig3", "run_fig4", "run_ablation",
+    "run_cold_start", "run_hygnn_variant", "select_cross_labeled_pairs",
+]

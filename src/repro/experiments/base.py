@@ -1,0 +1,120 @@
+"""Experiment infrastructure: run profiles and result tables.
+
+Every table and figure of the paper has a module here exposing
+``run(profile) -> ExperimentResult``.  Results carry both the measured rows
+and the paper's published numbers so the harness can print them side by
+side; absolute values differ (synthetic data, CPU-scale training) but the
+*shape* — who wins, by roughly what factor, where trends bend — is the
+reproduction target and is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from ..baselines import (BaselineConfig, CasterConfig, DecagonConfig,
+                         UnsupervisedConfig, WalkConfig)
+from ..core import HyGNNConfig
+
+
+@dataclass(frozen=True)
+class RunProfile:
+    """Controls dataset scale and training budgets.
+
+    - ``fast``: seconds-scale, used by the pytest benchmarks.
+    - ``default``: minutes-scale, used to fill EXPERIMENTS.md.
+    - ``full``: paper-scale corpora and the paper's 2000-epoch schedule
+      (hours on CPU; provided for completeness).
+    """
+
+    name: str = "default"
+    scale: float = 0.15
+    seed: int = 0
+    repeats: int = 1               # the paper averages 5 random splits
+    hygnn_epochs: int = 500
+    hygnn_patience: int = 100
+    baseline_epochs: int = 120
+    caster_epochs: int = 200
+    walk_num_walks: int = 6
+    walk_length: int = 50
+    sgns_epochs: int = 2
+
+    def hygnn_config(self, **overrides) -> HyGNNConfig:
+        base = HyGNNConfig(epochs=self.hygnn_epochs,
+                           patience=self.hygnn_patience)
+        return base.with_updates(**overrides) if overrides else base
+
+    def baseline_config(self, seed: int | None = None) -> BaselineConfig:
+        seed = self.seed if seed is None else seed
+        return BaselineConfig(
+            walk=WalkConfig(num_walks=self.walk_num_walks,
+                            walk_length=self.walk_length,
+                            epochs=self.sgns_epochs, learning_rate=0.05,
+                            seed=seed),
+            unsupervised=UnsupervisedConfig(epochs=self.baseline_epochs,
+                                            seed=seed),
+            caster=CasterConfig(epochs=self.caster_epochs,
+                                patience=max(self.caster_epochs // 5, 10),
+                                seed=seed),
+            decagon=DecagonConfig(epochs=self.baseline_epochs,
+                                  patience=max(self.baseline_epochs // 5, 10),
+                                  seed=seed),
+            seed=seed,
+        )
+
+
+FAST = RunProfile(name="fast", scale=0.07, hygnn_epochs=250,
+                  hygnn_patience=50, baseline_epochs=40, caster_epochs=50,
+                  walk_num_walks=3, walk_length=25, sgns_epochs=1)
+DEFAULT = RunProfile(name="default")
+FULL = RunProfile(name="full", scale=1.0, hygnn_epochs=2000,
+                  hygnn_patience=200, baseline_epochs=400, caster_epochs=600,
+                  walk_num_walks=10, walk_length=100, sgns_epochs=3)
+
+PROFILES = {"fast": FAST, "default": DEFAULT, "full": FULL}
+
+
+@dataclass
+class ExperimentResult:
+    """Measured rows plus the paper's reference rows for one artifact."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    paper_rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def format_table(self, rows: list[dict] | None = None) -> str:
+        rows = self.rows if rows is None else rows
+        if not rows:
+            return "(no rows)"
+        columns = list(rows[0])
+        widths = {c: max(len(str(c)),
+                         *(len(_fmt(r.get(c))) for r in rows))
+                  for c in columns}
+        header = "  ".join(str(c).ljust(widths[c]) for c in columns)
+        rule = "  ".join("-" * widths[c] for c in columns)
+        body = "\n".join(
+            "  ".join(_fmt(r.get(c)).ljust(widths[c]) for c in columns)
+            for r in rows)
+        return f"{header}\n{rule}\n{body}"
+
+    def render(self) -> str:
+        parts = [f"=== {self.experiment_id}: {self.title} ===",
+                 "-- measured --", self.format_table()]
+        if self.paper_rows:
+            parts += ["-- paper --", self.format_table(self.paper_rows)]
+        if self.notes:
+            parts.append(f"note: {self.notes}")
+        return "\n".join(parts)
+
+    def show(self) -> None:
+        print(self.render())
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)

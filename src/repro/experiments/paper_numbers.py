@@ -1,0 +1,109 @@
+"""Published numbers from the paper, used for side-by-side comparison.
+
+All values transcribed from Saifuddin et al., ICDE 2023 (arXiv:2206.12747v4).
+"""
+
+TABLE1 = [
+    {"dataset": "TWOSIDES", "num_drugs": 645, "num_ddis": 63_473},
+    {"dataset": "DrugBank", "num_drugs": 1706, "num_ddis": 191_402},
+]
+
+# Table II — hypergraph node counts, TWOSIDES.
+TABLE2 = [
+    {"espf_threshold": 5, "espf_nodes": 555, "kmer_k": 3, "kmer_nodes": 822},
+    {"espf_threshold": 10, "espf_nodes": 324, "kmer_k": 6, "kmer_nodes": 7025},
+    {"espf_threshold": 15, "espf_nodes": 249, "kmer_k": 9, "kmer_nodes": 14002},
+    {"espf_threshold": 20, "espf_nodes": 208, "kmer_k": 12, "kmer_nodes": 17351},
+    {"espf_threshold": 25, "espf_nodes": 187, "kmer_k": 15, "kmer_nodes": 18155},
+]
+
+# Table III — hypergraph node counts, DrugBank.
+TABLE3 = [
+    {"espf_threshold": 5, "espf_nodes": 1266, "kmer_k": 3, "kmer_nodes": 1296},
+    {"espf_threshold": 10, "espf_nodes": 729, "kmer_k": 6, "kmer_nodes": 11849},
+    {"espf_threshold": 15, "espf_nodes": 550, "kmer_k": 9, "kmer_nodes": 29443},
+    {"espf_threshold": 20, "espf_nodes": 462, "kmer_k": 12, "kmer_nodes": 43634},
+    {"espf_threshold": 25, "espf_nodes": 400, "kmer_k": 15, "kmer_nodes": 51315},
+]
+
+# Table IV — hyper-parameter grid.
+TABLE4 = [
+    {"parameter": "Learning rate", "values": "1e-2, 5e-2, 1e-3, 5e-3"},
+    {"parameter": "Hidden units", "values": "32, 64, 128"},
+    {"parameter": "Dropout", "values": "0.1, 0.5"},
+    {"parameter": "Weight decay", "values": "1e-2, 1e-3"},
+]
+
+# Table V — TWOSIDES comparison (F1 / ROC-AUC / PR-AUC, %).
+TABLE5 = [
+    {"model": "deepwalk", "F1": 80.35, "ROC-AUC": 80.36, "PR-AUC": 85.19},
+    {"model": "node2vec", "F1": 84.50, "ROC-AUC": 84.52, "PR-AUC": 88.33},
+    {"model": "gcn-ddi", "F1": 85.34, "ROC-AUC": 85.38, "PR-AUC": 88.87},
+    {"model": "graphsage-ddi", "F1": 85.83, "ROC-AUC": 85.80, "PR-AUC": 89.28},
+    {"model": "gat-ddi", "F1": 82.67, "ROC-AUC": 82.68, "PR-AUC": 86.86},
+    {"model": "gcn-ssg", "F1": 53.85, "ROC-AUC": 54.04, "PR-AUC": 66.94},
+    {"model": "graphsage-ssg", "F1": 60.19, "ROC-AUC": 60.18, "PR-AUC": 70.34},
+    {"model": "gat-ssg", "F1": 54.25, "ROC-AUC": 54.37, "PR-AUC": 66.85},
+    {"model": "caster", "F1": 82.35, "ROC-AUC": 90.45, "PR-AUC": 90.58},
+    {"model": "decagon", "F1": None, "ROC-AUC": 87.20, "PR-AUC": 83.20},
+    {"model": "hygnn-espf-mlp", "F1": 88.79, "ROC-AUC": 96.01, "PR-AUC": 96.30},
+    {"model": "hygnn-espf-dot", "F1": 76.79, "ROC-AUC": 91.12, "PR-AUC": 93.37},
+    {"model": "hygnn-kmer-mlp", "F1": 89.21, "ROC-AUC": 96.25, "PR-AUC": 96.53},
+    {"model": "hygnn-kmer-dot", "F1": 78.55, "ROC-AUC": 91.80, "PR-AUC": 93.88},
+]
+
+# Table VI — DrugBank comparison.
+TABLE6 = [
+    {"model": "deepwalk", "F1": 73.34, "ROC-AUC": 73.35, "PR-AUC": 80.05},
+    {"model": "node2vec", "F1": 79.52, "ROC-AUC": 79.54, "PR-AUC": 84.56},
+    {"model": "gcn-ddi", "F1": 77.05, "ROC-AUC": 77.06, "PR-AUC": 82.78},
+    {"model": "graphsage-ddi", "F1": 80.83, "ROC-AUC": 80.88, "PR-AUC": 85.51},
+    {"model": "gat-ddi", "F1": 63.84, "ROC-AUC": 69.75, "PR-AUC": 78.52},
+    {"model": "gcn-ssg", "F1": 58.00, "ROC-AUC": 58.04, "PR-AUC": 69.11},
+    {"model": "graphsage-ssg", "F1": 61.10, "ROC-AUC": 61.15, "PR-AUC": 70.64},
+    {"model": "gat-ssg", "F1": 58.20, "ROC-AUC": 58.24, "PR-AUC": 69.25},
+    {"model": "caster", "F1": 87.36, "ROC-AUC": 94.27, "PR-AUC": 94.20},
+    {"model": "hygnn-espf-mlp", "F1": 92.42, "ROC-AUC": 97.63, "PR-AUC": 97.53},
+    {"model": "hygnn-espf-dot", "F1": 83.94, "ROC-AUC": 95.80, "PR-AUC": 96.57},
+    {"model": "hygnn-kmer-mlp", "F1": 94.61, "ROC-AUC": 98.69, "PR-AUC": 98.68},
+    {"model": "hygnn-kmer-dot", "F1": 87.38, "ROC-AUC": 97.99, "PR-AUC": 98.28},
+]
+
+# Table VII — novel DDI predictions on TWOSIDES (validated against DrugBank).
+TABLE7 = [
+    {"drug1": "Desvenlafaxine", "drug2": "Paroxetine", "twosides_label": 0,
+     "predicted": 0.9989, "drugbank_label": 1},
+    {"drug1": "Probenecid", "drug2": "Metformin", "twosides_label": 0,
+     "predicted": 0.9931, "drugbank_label": 1},
+    {"drug1": "Bexarotene", "drug2": "Maprotiline", "twosides_label": 0,
+     "predicted": 1e-9, "drugbank_label": 0},
+    {"drug1": "Amoxapine", "drug2": "Econazole", "twosides_label": 0,
+     "predicted": 6.8e-9, "drugbank_label": 0},
+]
+
+# Table VIII — the reverse direction.
+TABLE8 = [
+    {"drug1": "Hydroxychloroquine", "drug2": "Loratadine",
+     "drugbank_label": 0, "predicted": 0.9879, "twosides_label": 1},
+    {"drug1": "Midazolam", "drug2": "Warfarin", "drugbank_label": 0,
+     "predicted": 0.9884, "twosides_label": 1},
+    {"drug1": "Benzthiazide", "drug2": "Fentanyl", "drugbank_label": 0,
+     "predicted": 5.7e-14, "twosides_label": 0},
+]
+
+# Table IX — cold-start (5% unseen drugs).
+TABLE9 = [
+    {"dataset": "TWOSIDES", "unseen": "5%", "F1": 72.75, "ROC-AUC": 78.25,
+     "PR-AUC": 85.64},
+    {"dataset": "DrugBank", "unseen": "5%", "F1": 65.23, "ROC-AUC": 70.84,
+     "PR-AUC": 78.04},
+]
+
+# Fig. 2/3 — the paper reports these as plots; the reproducible claims are
+# the parameter choices that win.
+FIG2_BEST_THRESHOLD = 5       # "frequency threshold 5 gives the best performance"
+FIG3_BEST_K = 9               # "the best ... are reported with k = 9"
+
+# Fig. 4 — training-size sweep models (best of each family).
+FIG4_MODELS = ("node2vec", "graphsage-ddi", "graphsage-ssg", "caster",
+               "hygnn-kmer-mlp")

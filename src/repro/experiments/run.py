@@ -1,0 +1,68 @@
+"""Experiment CLI: ``python -m repro.experiments.run --experiment table5``.
+
+Runs one (or all) of the paper's tables/figures and prints measured rows
+next to the paper's published rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .ablation import run_ablation
+from .base import PROFILES, RunProfile
+from .case_study import run_table7, run_table8
+from .comparison import run_table5, run_table6
+from .new_drugs import run_table9
+from .sweeps import run_fig2, run_fig3
+from .tables import run_table1, run_table2, run_table3, run_table4
+from .training_size import run_fig4
+
+EXPERIMENTS = {
+    "table1": run_table1,
+    "table2": run_table2,
+    "table3": run_table3,
+    "table4": run_table4,
+    "table5": run_table5,
+    "table6": run_table6,
+    "table7": run_table7,
+    "table8": run_table8,
+    "table9": run_table9,
+    "fig2": run_fig2,
+    "fig3": run_fig3,
+    "fig4": run_fig4,
+    "ablation": run_ablation,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate tables/figures of the HyGNN paper")
+    parser.add_argument("--experiment", default="all",
+                        choices=["all", *EXPERIMENTS])
+    parser.add_argument("--profile", default="default",
+                        choices=sorted(PROFILES))
+    parser.add_argument("--scale", type=float, default=None,
+                        help="override the profile's dataset scale")
+    parser.add_argument("--seed", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    profile = PROFILES[args.profile]
+    overrides = {}
+    if args.scale is not None:
+        overrides["scale"] = args.scale
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        from dataclasses import replace
+        profile = replace(profile, **overrides)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        result = EXPERIMENTS[name](profile)
+        result.show()
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Figures 2 and 3 — metric curves vs the substructure parameter.
+
+Fig. 2 sweeps the ESPF frequency threshold {5..25}; Fig. 3 sweeps the k-mer
+size {3..15}; both over the two datasets and both decoders.
+"""
+
+from __future__ import annotations
+
+from ..data import balanced_pairs_and_labels, load_benchmark, random_split
+from ..core import train_hygnn
+from . import paper_numbers
+from .base import DEFAULT, ExperimentResult, RunProfile
+
+ESPF_THRESHOLDS = (5, 10, 15, 20, 25)
+KMER_SIZES = (3, 6, 9, 12, 15)
+
+
+def _sweep(method: str, parameters: tuple[int, ...],
+           profile: RunProfile, datasets: tuple[str, ...] = ("TWOSIDES",
+                                                             "DrugBank"),
+           decoders: tuple[str, ...] = ("mlp", "dot")) -> list[dict]:
+    benchmark = load_benchmark(scale=profile.scale, seed=profile.seed)
+    by_name = {"TWOSIDES": benchmark.twosides, "DrugBank": benchmark.drugbank}
+    rows: list[dict] = []
+    for dataset_name in datasets:
+        dataset = by_name[dataset_name]
+        pairs, labels = balanced_pairs_and_labels(dataset, seed=profile.seed)
+        split = random_split(len(pairs), seed=profile.seed)
+        for decoder in decoders:
+            for parameter in parameters:
+                config = profile.hygnn_config(method=method,
+                                              parameter=parameter,
+                                              decoder=decoder)
+                _, _, _, summary = train_hygnn(dataset.smiles, pairs, labels,
+                                               split, config)
+                rows.append({"dataset": dataset_name, "decoder": decoder,
+                             "parameter": parameter, **summary.as_row()})
+    return rows
+
+
+def run_fig2(profile: RunProfile = DEFAULT,
+             thresholds: tuple[int, ...] = ESPF_THRESHOLDS,
+             datasets: tuple[str, ...] = ("TWOSIDES", "DrugBank"),
+             decoders: tuple[str, ...] = ("mlp", "dot")) -> ExperimentResult:
+    """Fig. 2 — performance vs ESPF frequency threshold."""
+    rows = _sweep("espf", thresholds, profile, datasets, decoders)
+    return ExperimentResult(
+        experiment_id="fig2",
+        title="Performance vs ESPF frequency threshold",
+        rows=rows,
+        paper_rows=[{"claim": "threshold 5 performs best; large thresholds "
+                              "lose substructures and degrade, most visibly "
+                              "on TWOSIDES"}],
+        notes=f"paper's winning threshold: "
+              f"{paper_numbers.FIG2_BEST_THRESHOLD}")
+
+
+def run_fig3(profile: RunProfile = DEFAULT,
+             sizes: tuple[int, ...] = KMER_SIZES,
+             datasets: tuple[str, ...] = ("TWOSIDES", "DrugBank"),
+             decoders: tuple[str, ...] = ("mlp", "dot")) -> ExperimentResult:
+    """Fig. 3 — performance vs k-mer size."""
+    rows = _sweep("kmer", sizes, profile, datasets, decoders)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Performance vs k-mer size",
+        rows=rows,
+        paper_rows=[{"claim": "performance rises with k then saturates; "
+                              "k=9 reported best (TWOSIDES most sensitive)"}],
+        notes=f"paper's winning k: {paper_numbers.FIG3_BEST_K}; synthetic "
+              "SMILES are shorter than DrugBank molecules, so the curve "
+              "bends at smaller k")

@@ -1,0 +1,8 @@
+"""``repro.graphs`` — DDI graph and substructure-similarity graph builders."""
+
+from .builders import build_ddi_graph, build_ssg_graph
+from .graph import Graph
+from .normalize import gcn_normalized_adjacency, row_normalized_adjacency
+
+__all__ = ["Graph", "build_ddi_graph", "build_ssg_graph",
+           "gcn_normalized_adjacency", "row_normalized_adjacency"]

@@ -1,0 +1,49 @@
+"""Builders for the two baseline graphs of the paper.
+
+- **DDI graph** (baseline families 1 & 2): drugs are nodes, an edge connects
+  two drugs with a *known training* interaction.  Only training positives may
+  be used — leaking validation/test edges into the graph would inflate every
+  topology-based baseline.
+- **SSG** — substructure similarity graph (baseline family 3, following
+  Bumgardner et al.): an edge connects two drugs sharing at least a
+  threshold number of ESPF substructures.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+
+
+def build_ddi_graph(num_drugs: int, train_positive_pairs: np.ndarray) -> Graph:
+    """Drugs as nodes, known (training) interactions as edges."""
+    return Graph(num_drugs, train_positive_pairs)
+
+
+def build_ssg_graph(drug_token_sets: list[set[str]],
+                    min_shared: int = 2) -> Graph:
+    """Edge between drugs sharing >= ``min_shared`` substructures.
+
+    ``drug_token_sets`` comes from
+    :meth:`repro.hypergraph.DrugHypergraphBuilder.drug_token_sets` so SSG and
+    HyGNN see the same substructure extraction.
+    """
+    if min_shared < 1:
+        raise ValueError("min_shared must be >= 1")
+    n = len(drug_token_sets)
+    edges: list[tuple[int, int]] = []
+    # Invert: token -> drugs containing it, then count shared tokens per pair.
+    token_to_drugs: dict[str, list[int]] = {}
+    for drug, tokens in enumerate(drug_token_sets):
+        for token in tokens:
+            token_to_drugs.setdefault(token, []).append(drug)
+    shared_counts: dict[tuple[int, int], int] = {}
+    for drugs in token_to_drugs.values():
+        for a_pos, a in enumerate(drugs):
+            for b in drugs[a_pos + 1:]:
+                key = (a, b)
+                shared_counts[key] = shared_counts.get(key, 0) + 1
+    edges = [pair for pair, count in shared_counts.items()
+             if count >= min_shared]
+    return Graph(n, np.array(edges, dtype=np.int64).reshape(-1, 2))

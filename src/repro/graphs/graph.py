@@ -1,0 +1,58 @@
+"""Simple undirected graph substrate for the baseline models."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Graph:
+    """An undirected simple graph stored as a canonical edge list."""
+
+    def __init__(self, num_nodes: int, edges: np.ndarray):
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if edges.size:
+            if edges.min() < 0 or edges.max() >= num_nodes:
+                raise ValueError("edge endpoint out of range")
+            edges = edges[edges[:, 0] != edges[:, 1]]  # drop self loops
+            edges = np.unique(np.sort(edges, axis=1), axis=0)
+        self.num_nodes = int(num_nodes)
+        self.edges = edges
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def adjacency(self) -> sp.csr_matrix:
+        """Symmetric binary adjacency matrix."""
+        if not self.num_edges:
+            return sp.csr_matrix((self.num_nodes, self.num_nodes))
+        rows = np.concatenate([self.edges[:, 0], self.edges[:, 1]])
+        cols = np.concatenate([self.edges[:, 1], self.edges[:, 0]])
+        data = np.ones(len(rows))
+        adj = sp.csr_matrix((data, (rows, cols)),
+                            shape=(self.num_nodes, self.num_nodes))
+        adj.data[:] = 1.0  # collapse any duplicates
+        return adj
+
+    def degrees(self) -> np.ndarray:
+        deg = np.zeros(self.num_nodes, dtype=np.int64)
+        if self.num_edges:
+            np.add.at(deg, self.edges[:, 0], 1)
+            np.add.at(deg, self.edges[:, 1], 1)
+        return deg
+
+    def neighbors(self, node: int) -> np.ndarray:
+        mask_a = self.edges[:, 0] == node
+        mask_b = self.edges[:, 1] == node
+        return np.unique(np.concatenate([self.edges[mask_b, 0],
+                                         self.edges[mask_a, 1]]))
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        a, b = min(u, v), max(u, v)
+        return bool(((self.edges[:, 0] == a) & (self.edges[:, 1] == b)).any())
+
+    def __repr__(self) -> str:
+        return f"Graph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,28 @@
+"""Adjacency normalisations used by the GNN baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+
+def gcn_normalized_adjacency(graph: Graph) -> sp.csr_matrix:
+    """Kipf & Welling normalisation: ``D^-1/2 (A + I) D^-1/2``."""
+    adj = graph.adjacency() + sp.identity(graph.num_nodes, format="csr")
+    degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+    inv_sqrt = 1.0 / np.sqrt(np.maximum(degree, 1e-12))
+    d_mat = sp.diags(inv_sqrt)
+    return (d_mat @ adj @ d_mat).tocsr()
+
+
+def row_normalized_adjacency(graph: Graph,
+                             add_self_loops: bool = False) -> sp.csr_matrix:
+    """``D^-1 A`` — the mean aggregator used by GraphSAGE."""
+    adj = graph.adjacency()
+    if add_self_loops:
+        adj = adj + sp.identity(graph.num_nodes, format="csr")
+    degree = np.asarray(adj.sum(axis=1)).reshape(-1)
+    inv = np.divide(1.0, degree, out=np.zeros_like(degree), where=degree > 0)
+    return (sp.diags(inv) @ adj).tocsr()

@@ -1,0 +1,8 @@
+"""``repro.hypergraph`` — drug hypergraph construction (paper Algorithm 1)."""
+
+from .construction import (SUBSTRUCTURE_METHODS, DrugHypergraphBuilder,
+                           build_drug_hypergraph)
+from .hypergraph import Hypergraph
+
+__all__ = ["Hypergraph", "DrugHypergraphBuilder", "build_drug_hypergraph",
+           "SUBSTRUCTURE_METHODS"]

@@ -1,0 +1,91 @@
+"""Hypergraph data structure.
+
+A hypergraph ``G = (V, E)`` with degree-free hyperedges (paper Sec. III-A),
+stored as an incidence list — parallel arrays ``(node_ids, edge_ids)`` with
+one entry per (node ∈ hyperedge) membership — plus a CSR incidence matrix
+view.  The incidence list is what the HyGNN attention layers consume: both
+attention levels are segment-softmaxes over these entries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+
+class Hypergraph:
+    """An immutable hypergraph over ``num_nodes`` nodes and ``num_edges`` edges."""
+
+    def __init__(self, num_nodes: int, num_edges: int,
+                 node_ids: np.ndarray, edge_ids: np.ndarray,
+                 node_labels: list[str] | None = None,
+                 edge_labels: list[str] | None = None):
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if node_ids.shape != edge_ids.shape or node_ids.ndim != 1:
+            raise ValueError("node_ids and edge_ids must be equal-length 1-D")
+        if node_ids.size:
+            if node_ids.min() < 0 or node_ids.max() >= num_nodes:
+                raise ValueError("node id out of range")
+            if edge_ids.min() < 0 or edge_ids.max() >= num_edges:
+                raise ValueError("edge id out of range")
+        if node_labels is not None and len(node_labels) != num_nodes:
+            raise ValueError("node_labels length mismatch")
+        if edge_labels is not None and len(edge_labels) != num_edges:
+            raise ValueError("edge_labels length mismatch")
+
+        # Deduplicate and sort incidences by (edge, node) for determinism.
+        order = np.lexsort((node_ids, edge_ids))
+        pairs = np.stack([node_ids[order], edge_ids[order]], axis=1)
+        pairs = np.unique(pairs, axis=0)
+        self.num_nodes = int(num_nodes)
+        self.num_edges = int(num_edges)
+        self.node_ids = pairs[:, 0]
+        self.edge_ids = pairs[:, 1]
+        self.node_labels = node_labels
+        self.edge_labels = edge_labels
+
+    # ------------------------------------------------------------------
+    @property
+    def num_incidences(self) -> int:
+        return len(self.node_ids)
+
+    def incidence_matrix(self) -> sp.csr_matrix:
+        """H with ``H[i, j] = 1`` iff node *i* belongs to hyperedge *j*."""
+        data = np.ones(self.num_incidences)
+        return sp.csr_matrix((data, (self.node_ids, self.edge_ids)),
+                             shape=(self.num_nodes, self.num_edges))
+
+    def node_degrees(self) -> np.ndarray:
+        """Number of hyperedges containing each node."""
+        return np.bincount(self.node_ids, minlength=self.num_nodes)
+
+    def edge_degrees(self) -> np.ndarray:
+        """Number of nodes in each hyperedge (degree-free, Sec. III-A)."""
+        return np.bincount(self.edge_ids, minlength=self.num_edges)
+
+    def nodes_of_edge(self, edge_id: int) -> np.ndarray:
+        return self.node_ids[self.edge_ids == edge_id]
+
+    def edges_of_node(self, node_id: int) -> np.ndarray:
+        return self.edge_ids[self.node_ids == node_id]
+
+    def edge_membership_rows(self) -> sp.csr_matrix:
+        """``H.T`` — one row per hyperedge (drug), used as initial features."""
+        return self.incidence_matrix().T.tocsr()
+
+    def statistics(self) -> dict:
+        edge_deg = self.edge_degrees()
+        node_deg = self.node_degrees()
+        return {
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_incidences": self.num_incidences,
+            "mean_edge_degree": float(edge_deg.mean()) if self.num_edges else 0.0,
+            "mean_node_degree": float(node_deg.mean()) if self.num_nodes else 0.0,
+            "max_edge_degree": int(edge_deg.max()) if self.num_edges else 0,
+        }
+
+    def __repr__(self) -> str:
+        return (f"Hypergraph(nodes={self.num_nodes}, edges={self.num_edges}, "
+                f"incidences={self.num_incidences})")

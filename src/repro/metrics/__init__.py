@@ -1,0 +1,12 @@
+"""Classification metrics (F1, ROC-AUC, PR-AUC) — see Sec. IV of the paper."""
+
+from .classification import (EvaluationSummary, accuracy_score,
+                             confusion_counts, f1_from_scores, f1_score,
+                             pr_auc_score, precision_score, recall_score,
+                             roc_auc_score, roc_curve)
+
+__all__ = [
+    "EvaluationSummary", "accuracy_score", "confusion_counts",
+    "f1_score", "f1_from_scores", "precision_score", "recall_score",
+    "roc_auc_score", "pr_auc_score", "roc_curve",
+]

@@ -1,0 +1,160 @@
+"""Binary-classification metrics used throughout the paper's evaluation.
+
+The paper reports F1, ROC-AUC, and PR-AUC (Sec. IV).  All three are
+implemented from first principles on numpy:
+
+- ROC-AUC via the rank statistic (equivalent to the Mann-Whitney U), with
+  proper tie handling through midranks.
+- PR-AUC as *average precision* (the step-function integral sklearn uses),
+  again tie-aware by grouping equal scores.
+- F1 and friends from confusion counts at a 0.5 threshold by default.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def _validate(y_true, y_score) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).reshape(-1)
+    y_score = np.asarray(y_score, dtype=np.float64).reshape(-1)
+    if y_true.shape != y_score.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_score.shape}")
+    if y_true.size == 0:
+        raise ValueError("empty inputs")
+    labels = np.unique(y_true)
+    if not np.all(np.isin(labels, (0.0, 1.0))):
+        raise ValueError("y_true must contain only 0/1 labels")
+    return y_true, y_score
+
+
+def confusion_counts(y_true, y_pred) -> tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn) for binary predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return tp, fp, tn, fn
+
+
+def precision_score(y_true, y_pred) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if tp + fp else 0.0
+
+
+def recall_score(y_true, y_pred) -> float:
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if tp + fn else 0.0
+
+
+def accuracy_score(y_true, y_pred) -> float:
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def f1_score(y_true, y_pred) -> float:
+    """Harmonic mean of precision and recall; 0 when both are undefined."""
+    precision = precision_score(y_true, y_pred)
+    recall = recall_score(y_true, y_pred)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def f1_from_scores(y_true, y_score, threshold: float = 0.5) -> float:
+    y_true, y_score = _validate(y_true, y_score)
+    return f1_score(y_true, (y_score >= threshold).astype(np.float64))
+
+
+def roc_auc_score(y_true, y_score) -> float:
+    """Area under the ROC curve via midrank statistics (tie-aware)."""
+    y_true, y_score = _validate(y_true, y_score)
+    n_pos = float(np.sum(y_true == 1))
+    n_neg = float(np.sum(y_true == 0))
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("ROC-AUC undefined with a single class")
+    order = np.argsort(y_score, kind="mergesort")
+    sorted_scores = y_score[order]
+    ranks = np.empty_like(sorted_scores)
+    i = 0
+    n = len(sorted_scores)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[i:j + 1] = 0.5 * (i + j) + 1.0  # midrank, 1-based
+        i = j + 1
+    rank_of = np.empty(n)
+    rank_of[order] = ranks
+    rank_sum_pos = rank_of[y_true == 1].sum()
+    u_statistic = rank_sum_pos - n_pos * (n_pos + 1) / 2.0
+    return float(u_statistic / (n_pos * n_neg))
+
+
+def pr_auc_score(y_true, y_score) -> float:
+    """Average precision (area under the precision-recall curve).
+
+    AP = sum_k (R_k - R_{k-1}) * P_k over descending unique score thresholds.
+    """
+    y_true, y_score = _validate(y_true, y_score)
+    n_pos = float(np.sum(y_true == 1))
+    if n_pos == 0:
+        raise ValueError("PR-AUC undefined without positive samples")
+    order = np.argsort(-y_score, kind="mergesort")
+    y_sorted = y_true[order]
+    scores_sorted = y_score[order]
+    tp_cum = np.cumsum(y_sorted)
+    fp_cum = np.cumsum(1.0 - y_sorted)
+    # Only evaluate at the last index of each tied score block.
+    distinct = np.where(np.diff(scores_sorted))[0]
+    idx = np.r_[distinct, len(y_sorted) - 1]
+    precision = tp_cum[idx] / (tp_cum[idx] + fp_cum[idx])
+    recall = tp_cum[idx] / n_pos
+    recall_prev = np.r_[0.0, recall[:-1]]
+    return float(np.sum((recall - recall_prev) * precision))
+
+
+def roc_curve(y_true, y_score) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) at each distinct score, descending."""
+    y_true, y_score = _validate(y_true, y_score)
+    order = np.argsort(-y_score, kind="mergesort")
+    y_sorted = y_true[order]
+    scores_sorted = y_score[order]
+    tp_cum = np.cumsum(y_sorted)
+    fp_cum = np.cumsum(1.0 - y_sorted)
+    distinct = np.where(np.diff(scores_sorted))[0]
+    idx = np.r_[distinct, len(y_sorted) - 1]
+    n_pos = max(tp_cum[-1], 1.0)
+    n_neg = max(fp_cum[-1], 1.0)
+    tpr = np.r_[0.0, tp_cum[idx] / n_pos]
+    fpr = np.r_[0.0, fp_cum[idx] / n_neg]
+    thresholds = np.r_[np.inf, scores_sorted[idx]]
+    return fpr, tpr, thresholds
+
+
+@dataclass(frozen=True)
+class EvaluationSummary:
+    """The metric triple the paper reports, as percentages."""
+
+    f1: float
+    roc_auc: float
+    pr_auc: float
+
+    @classmethod
+    def from_scores(cls, y_true, y_score,
+                    threshold: float = 0.5) -> "EvaluationSummary":
+        return cls(
+            f1=100.0 * f1_from_scores(y_true, y_score, threshold=threshold),
+            roc_auc=100.0 * roc_auc_score(y_true, y_score),
+            pr_auc=100.0 * pr_auc_score(y_true, y_score),
+        )
+
+    def as_row(self) -> dict[str, float]:
+        return {"F1": self.f1, "ROC-AUC": self.roc_auc, "PR-AUC": self.pr_auc}
+
+    def __str__(self) -> str:
+        return (f"F1={self.f1:.2f} ROC-AUC={self.roc_auc:.2f} "
+                f"PR-AUC={self.pr_auc:.2f}")

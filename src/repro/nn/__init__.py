@@ -1,0 +1,31 @@
+"""``repro.nn`` — a from-scratch autograd / neural-network substrate.
+
+The original HyGNN implementation targets PyTorch; this package supplies the
+equivalent machinery on numpy so the whole reproduction runs offline:
+
+- :mod:`repro.nn.tensor` — reverse-mode autodiff tensors
+- :mod:`repro.nn.functional` — activations, segment ops, sparse matmul
+- :mod:`repro.nn.modules` — ``Module`` / ``Linear`` / ``Dropout`` / ``MLP``
+- :mod:`repro.nn.optim` — SGD / Adam
+- :mod:`repro.nn.losses` — BCE (Eq. 13), MSE
+- :mod:`repro.nn.gradcheck` — finite-difference validation
+"""
+
+from . import functional
+from . import init
+from .gradcheck import gradcheck, numerical_gradient
+from .losses import bce, bce_with_logits, mse
+from .modules import (MLP, Dropout, Embedding, LeakyReLU, Linear, Module,
+                      ReLU, Sequential)
+from .optim import SGD, Adam, Optimizer
+from .tensor import Tensor, ones, tensor, zeros
+
+__all__ = [
+    "Tensor", "tensor", "zeros", "ones",
+    "functional", "init",
+    "Module", "Linear", "Dropout", "Embedding", "Sequential", "MLP",
+    "ReLU", "LeakyReLU",
+    "Optimizer", "SGD", "Adam",
+    "bce", "bce_with_logits", "mse",
+    "gradcheck", "numerical_gradient",
+]

@@ -1,0 +1,262 @@
+"""Differentiable functions for :mod:`repro.nn`.
+
+Beyond the usual activations this module provides the *segment* operations
+(``segment_sum``, ``segment_softmax``, ``segment_mean``) that make sparse
+message passing tractable: hypergraph attention (HyGNN Eqs. 4-9) and graph
+attention (GAT) are both softmaxes over variable-sized neighbourhoods, which
+we flatten into (entry, segment-id) pairs and normalise per segment.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .tensor import Tensor, unbroadcast
+
+
+# ---------------------------------------------------------------------------
+# Elementwise activations
+# ---------------------------------------------------------------------------
+
+def relu(x: Tensor) -> Tensor:
+    mask = x.data > 0
+    out = Tensor._result(x.data * mask, (x,), "relu")
+
+    def backward() -> None:
+        x._accumulate(out.grad * mask)
+
+    out._backward = backward
+    return out
+
+
+def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
+    """LeakyReLU, the encoder-side activation the paper uses (Sec. IV-B)."""
+    mask = x.data > 0
+    scale = np.where(mask, 1.0, negative_slope)
+    out = Tensor._result(x.data * scale, (x,), "leaky_relu")
+
+    def backward() -> None:
+        x._accumulate(out.grad * scale)
+
+    out._backward = backward
+    return out
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    # Numerically stable piecewise form.
+    data = x.data
+    out_data = np.where(data >= 0, 1.0 / (1.0 + np.exp(-np.clip(data, -500, None))),
+                        np.exp(np.clip(data, None, 500))
+                        / (1.0 + np.exp(np.clip(data, None, 500))))
+    out = Tensor._result(out_data, (x,), "sigmoid")
+
+    def backward() -> None:
+        x._accumulate(out.grad * out_data * (1.0 - out_data))
+
+    out._backward = backward
+    return out
+
+
+def tanh(x: Tensor) -> Tensor:
+    out_data = np.tanh(x.data)
+    out = Tensor._result(out_data, (x,), "tanh")
+
+    def backward() -> None:
+        x._accumulate(out.grad * (1.0 - out_data ** 2))
+
+    out._backward = backward
+    return out
+
+
+def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
+    mask = x.data > 0
+    exp_part = alpha * (np.exp(np.clip(x.data, None, 50)) - 1.0)
+    out_data = np.where(mask, x.data, exp_part)
+    out = Tensor._result(out_data, (x,), "elu")
+
+    def backward() -> None:
+        x._accumulate(out.grad * np.where(mask, 1.0, exp_part + alpha))
+
+    out._backward = backward
+    return out
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    out_data = exps / exps.sum(axis=axis, keepdims=True)
+    out = Tensor._result(out_data, (x,), "softmax")
+
+    def backward() -> None:
+        dot = (out.grad * out_data).sum(axis=axis, keepdims=True)
+        x._accumulate(out_data * (out.grad - dot))
+
+    out._backward = backward
+    return out
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    shifted = x.data - x.data.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    out_data = shifted - log_z
+    out = Tensor._result(out_data, (x,), "log_softmax")
+    soft = np.exp(out_data)
+
+    def backward() -> None:
+        x._accumulate(out.grad - soft * out.grad.sum(axis=axis, keepdims=True))
+
+    out._backward = backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Structural ops
+# ---------------------------------------------------------------------------
+
+def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
+    datas = [t.data for t in tensors]
+    out = Tensor._result(np.concatenate(datas, axis=axis), tuple(tensors), "concat")
+    sizes = [d.shape[axis] for d in datas]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward() -> None:
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            if t.requires_grad:
+                index = [slice(None)] * out.grad.ndim
+                index[axis] = slice(start, stop)
+                t._accumulate(out.grad[tuple(index)])
+
+    out._backward = backward
+    return out
+
+
+def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
+    """Select rows ``x[indices]`` with gradient scattered back by ``add.at``."""
+    indices = np.asarray(indices, dtype=np.int64)
+    out = Tensor._result(x.data[indices], (x,), "gather_rows")
+
+    def backward() -> None:
+        grad = np.zeros_like(x.data)
+        np.add.at(grad, indices, out.grad)
+        x._accumulate(grad)
+
+    out._backward = backward
+    return out
+
+
+def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
+    """Inverted dropout; identity when not training or ``p == 0``."""
+    if not training or p <= 0.0:
+        return x
+    if not 0.0 <= p < 1.0:
+        raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+    mask = (rng.random(x.shape) >= p) / (1.0 - p)
+    out = Tensor._result(x.data * mask, (x,), "dropout")
+
+    def backward() -> None:
+        x._accumulate(out.grad * mask)
+
+    out._backward = backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Segment ops (sparse attention / message passing kernels)
+# ---------------------------------------------------------------------------
+
+def _check_segments(segment_ids: np.ndarray, num_segments: int) -> np.ndarray:
+    segment_ids = np.asarray(segment_ids, dtype=np.int64)
+    if segment_ids.ndim != 1:
+        raise ValueError("segment_ids must be 1-D")
+    if segment_ids.size and (segment_ids.min() < 0 or segment_ids.max() >= num_segments):
+        raise ValueError("segment id out of range")
+    return segment_ids
+
+
+def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Sum rows of ``x`` into ``num_segments`` buckets given per-row ids."""
+    segment_ids = _check_segments(segment_ids, num_segments)
+    out_shape = (num_segments,) + x.shape[1:]
+    out_data = np.zeros(out_shape, dtype=x.data.dtype)
+    np.add.at(out_data, segment_ids, x.data)
+    out = Tensor._result(out_data, (x,), "segment_sum")
+
+    def backward() -> None:
+        x._accumulate(out.grad[segment_ids])
+
+    out._backward = backward
+    return out
+
+
+def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Per-segment mean; empty segments produce zeros."""
+    segment_ids = _check_segments(segment_ids, num_segments)
+    counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
+    safe = np.maximum(counts, 1.0)
+    summed = segment_sum(x, segment_ids, num_segments)
+    scale = (1.0 / safe).reshape((num_segments,) + (1,) * (x.ndim - 1))
+    return summed * Tensor(scale)
+
+
+def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int) -> Tensor:
+    """Softmax of ``scores`` normalised independently within each segment.
+
+    ``scores`` is 1-D with one entry per (member, group) incidence; the output
+    has the same shape and sums to 1 within every segment.  This is the kernel
+    behind the attention coefficients of HyGNN Eqs. (5) and (8) and of GAT.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    data = scores.data
+    if data.ndim != 1:
+        raise ValueError("segment_softmax expects 1-D scores")
+    # Per-segment max for numerical stability.
+    seg_max = np.full(num_segments, -np.inf, dtype=data.dtype)
+    np.maximum.at(seg_max, segment_ids, data)
+    shifted = data - seg_max[segment_ids]
+    exps = np.exp(shifted)
+    seg_sum = np.zeros(num_segments, dtype=data.dtype)
+    np.add.at(seg_sum, segment_ids, exps)
+    out_data = exps / seg_sum[segment_ids]
+    out = Tensor._result(out_data, (scores,), "segment_softmax")
+
+    def backward() -> None:
+        weighted = out.grad * out_data
+        seg_dot = np.zeros(num_segments, dtype=data.dtype)
+        np.add.at(seg_dot, segment_ids, weighted)
+        scores._accumulate(weighted - out_data * seg_dot[segment_ids])
+
+    out._backward = backward
+    return out
+
+
+def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a constant scipy sparse matrix with a dense tensor.
+
+    The sparse structure carries no gradient (it encodes graph topology); the
+    gradient w.r.t. ``x`` is ``matrix.T @ grad``.
+    """
+    csr = matrix.tocsr()
+    out = Tensor._result(csr @ x.data, (x,), "sparse_matmul")
+
+    def backward() -> None:
+        x._accumulate(csr.T @ out.grad)
+
+    out._backward = backward
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Losses-adjacent helpers
+# ---------------------------------------------------------------------------
+
+def clip(x: Tensor, low: float, high: float) -> Tensor:
+    """Clamp values; gradient is passed through only inside the interval."""
+    mask = (x.data > low) & (x.data < high)
+    out = Tensor._result(np.clip(x.data, low, high), (x,), "clip")
+
+    def backward() -> None:
+        x._accumulate(out.grad * mask)
+
+    out._backward = backward
+    return out

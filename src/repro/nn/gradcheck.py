@@ -1,0 +1,48 @@
+"""Finite-difference gradient checking used throughout the test suite."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def numerical_gradient(fn: Callable[[], Tensor], param: Tensor,
+                       eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of scalar ``fn()`` w.r.t. ``param.data``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def gradcheck(fn: Callable[[], Tensor], params: list[Tensor],
+              eps: float = 1e-6, atol: float = 1e-5, rtol: float = 1e-4) -> bool:
+    """Compare analytic and numerical gradients for every parameter.
+
+    Raises ``AssertionError`` with a diagnostic message on mismatch so tests
+    report which parameter diverged.
+    """
+    for param in params:
+        param.grad = None
+    loss = fn()
+    loss.backward()
+    for idx, param in enumerate(params):
+        analytic = param.grad if param.grad is not None else np.zeros_like(param.data)
+        numeric = numerical_gradient(fn, param, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = np.abs(analytic - numeric).max()
+            raise AssertionError(
+                f"gradcheck failed for parameter {idx}: max abs diff {worst:.3e}\n"
+                f"analytic:\n{analytic}\nnumeric:\n{numeric}")
+    return True

@@ -1,0 +1,52 @@
+"""Weight initialisation schemes.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so that
+every model in the repository is reproducible from a single seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def xavier_uniform(shape: tuple, rng: np.random.Generator,
+                   gain: float = 1.0) -> Tensor:
+    """Glorot/Xavier uniform: U(-a, a) with a = gain * sqrt(6 / (fan_in + fan_out))."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def xavier_normal(shape: tuple, rng: np.random.Generator,
+                  gain: float = 1.0) -> Tensor:
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def kaiming_uniform(shape: tuple, rng: np.random.Generator,
+                    negative_slope: float = 0.0) -> Tensor:
+    """He uniform, appropriate in front of (leaky) ReLU activations."""
+    fan_in, _ = _fans(shape)
+    gain = np.sqrt(2.0 / (1.0 + negative_slope ** 2))
+    bound = gain * np.sqrt(3.0 / fan_in)
+    return Tensor(rng.uniform(-bound, bound, size=shape), requires_grad=True)
+
+
+def zeros(shape: tuple) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=True)
+
+
+def normal(shape: tuple, rng: np.random.Generator, std: float = 0.01) -> Tensor:
+    return Tensor(rng.normal(0.0, std, size=shape), requires_grad=True)
+
+
+def _fans(shape: tuple) -> tuple[int, int]:
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    receptive = int(np.prod(shape[2:]))
+    return shape[1] * receptive, shape[0] * receptive

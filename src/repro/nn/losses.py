@@ -1,0 +1,59 @@
+"""Loss functions.
+
+The paper trains HyGNN end-to-end with binary cross-entropy (Eq. 13); we
+provide the numerically stable logits formulation plus MSE for the CASTER
+reconstruction term.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Binary cross-entropy on raw scores, Eq. (13) of the paper.
+
+    Uses the stable identity ``max(z, 0) - z*y + log(1 + exp(-|z|))`` so that
+    extreme logits neither overflow nor produce NaN gradients.
+    """
+    targets = np.asarray(targets, dtype=logits.data.dtype)
+    if targets.shape != logits.shape:
+        raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
+    z = logits.data
+    loss_data = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    out = Tensor._result(np.array(loss_data.mean()), (logits,), "bce_with_logits")
+    n = max(z.size, 1)
+
+    def backward() -> None:
+        sig = np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)),
+                       np.exp(z) / (1.0 + np.exp(z)))
+        logits._accumulate(out.grad * (sig - targets) / n)
+
+    out._backward = backward
+    return out
+
+
+def bce(probabilities: Tensor, targets: np.ndarray, eps: float = 1e-12) -> Tensor:
+    """Cross-entropy on probabilities already in (0, 1)."""
+    targets = np.asarray(targets, dtype=probabilities.data.dtype)
+    p = probabilities.data
+    clipped = np.clip(p, eps, 1.0 - eps)
+    loss_data = -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
+    out = Tensor._result(np.array(loss_data.mean()), (probabilities,), "bce")
+    n = max(p.size, 1)
+    inside = (p > eps) & (p < 1.0 - eps)
+
+    def backward() -> None:
+        grad = (clipped - targets) / (clipped * (1.0 - clipped)) / n
+        probabilities._accumulate(out.grad * grad * inside)
+
+    out._backward = backward
+    return out
+
+
+def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:
+    targets = np.asarray(targets, dtype=predictions.data.dtype)
+    diff = predictions - Tensor(targets)
+    return (diff * diff).mean()

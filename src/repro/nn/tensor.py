@@ -1,0 +1,389 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of the ``repro.nn`` substrate.  The paper's
+models (HyGNN, GCN/GAT/GraphSAGE baselines, CASTER, Decagon) were originally
+built on PyTorch; the build environment here is numpy-only, so we provide a
+small but complete autograd engine.  Every differentiable operation used by
+the models lives either here (operator overloads) or in
+:mod:`repro.nn.functional`, and each is validated against finite differences
+in the test suite.
+
+The design follows the classic tape-free closure style: each :class:`Tensor`
+produced by an operation records its parent tensors and a ``_backward``
+closure that accumulates gradients into the parents.  ``Tensor.backward``
+topologically sorts the graph and runs the closures in reverse order.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Coerce ``value`` to a numpy array of the engine's dtype."""
+    if isinstance(value, np.ndarray):
+        if value.dtype != dtype:
+            return value.astype(dtype)
+        return value
+    return np.asarray(value, dtype=dtype)
+
+
+def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may both prepend dimensions and stretch size-1 axes; the
+    gradient of a broadcast is the sum over the broadcast axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Sum out prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched size-1 axes.
+    axes = tuple(i for i, size in enumerate(shape) if size == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that participates in reverse-mode autodiff."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "op")
+
+    def __init__(self, data, requires_grad: bool = False,
+                 _parents: Sequence["Tensor"] = (), op: str = ""):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] | None = None
+        self._parents = tuple(_parents)
+        self.op = op
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{flag}, op={self.op or 'leaf'})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy); detached from the graph."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------
+    # Graph machinery
+    # ------------------------------------------------------------------
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        if self.grad is None:
+            self.grad = np.zeros_like(self.data)
+        self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Back-propagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("backward() without an explicit gradient requires a scalar")
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.data.shape}")
+
+        order: list[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: Tensor) -> None:
+            # Iterative DFS to avoid recursion limits on deep graphs.
+            stack = [(node, iter(node._parents))]
+            if id(node) in visited:
+                return
+            visited.add(id(node))
+            while stack:
+                current, parents = stack[-1]
+                advanced = False
+                for parent in parents:
+                    if id(parent) not in visited:
+                        visited.add(id(parent))
+                        stack.append((parent, iter(parent._parents)))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Construction helpers used by operations
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _result(data: np.ndarray, parents: Sequence["Tensor"], op: str) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        return Tensor(data, requires_grad=requires, _parents=parents if requires else (), op=op)
+
+    # ------------------------------------------------------------------
+    # Arithmetic operators
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._result(self.data + other.data, (self, other), "add")
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(out.grad, other.shape))
+
+        out._backward = backward
+        return out
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        out = Tensor._result(-self.data, (self,), "neg")
+
+        def backward() -> None:
+            self._accumulate(-out.grad)
+
+        out._backward = backward
+        return out
+
+    def __sub__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        return self + (-other)
+
+    def __rsub__(self, other) -> "Tensor":
+        return (-self) + other
+
+    def __mul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._result(self.data * other.data, (self, other), "mul")
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad * other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(unbroadcast(out.grad * self.data, other.shape))
+
+        out._backward = backward
+        return out
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._result(self.data / other.data, (self, other), "div")
+
+        def backward() -> None:
+            if self.requires_grad:
+                self._accumulate(unbroadcast(out.grad / other.data, self.shape))
+            if other.requires_grad:
+                other._accumulate(
+                    unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape))
+
+        out._backward = backward
+        return out
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return Tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+        out = Tensor._result(self.data ** exponent, (self,), "pow")
+
+        def backward() -> None:
+            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
+
+        out._backward = backward
+        return out
+
+    def __matmul__(self, other) -> "Tensor":
+        other = other if isinstance(other, Tensor) else Tensor(other)
+        out = Tensor._result(self.data @ other.data, (self, other), "matmul")
+        a_ndim, b_ndim = self.data.ndim, other.data.ndim
+
+        def backward() -> None:
+            grad = out.grad
+            if self.requires_grad:
+                if b_ndim == 1 and a_ndim == 1:        # (m,) @ (m,) -> scalar
+                    grad_a = grad * other.data
+                elif b_ndim == 1:                      # (n,m) @ (m,) -> (n,)
+                    grad_a = np.outer(grad, other.data)
+                elif a_ndim == 1:                      # (m,) @ (m,p) -> (p,)
+                    grad_a = other.data @ grad
+                else:                                  # (..,n,m) @ (..,m,p)
+                    grad_a = grad @ other.data.swapaxes(-1, -2)
+                self._accumulate(unbroadcast(grad_a, self.shape))
+            if other.requires_grad:
+                if a_ndim == 1 and b_ndim == 1:
+                    grad_b = grad * self.data
+                elif a_ndim == 1:                      # (m,) @ (m,p) -> (p,)
+                    grad_b = np.outer(self.data, grad)
+                elif b_ndim == 1:                      # (n,m) @ (m,) -> (n,)
+                    grad_b = self.data.T @ grad
+                else:
+                    grad_b = self.data.swapaxes(-1, -2) @ grad
+                other._accumulate(unbroadcast(grad_b, other.shape))
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        out = Tensor._result(self.data.reshape(shape), (self,), "reshape")
+
+        def backward() -> None:
+            self._accumulate(out.grad.reshape(self.shape))
+
+        out._backward = backward
+        return out
+
+    def transpose(self, axes: tuple | None = None) -> "Tensor":
+        out = Tensor._result(self.data.transpose(axes), (self,), "transpose")
+        inverse = None if axes is None else tuple(np.argsort(axes))
+
+        def backward() -> None:
+            self._accumulate(out.grad.transpose(inverse))
+
+        out._backward = backward
+        return out
+
+    def __getitem__(self, index) -> "Tensor":
+        out = Tensor._result(self.data[index], (self,), "getitem")
+
+        def backward() -> None:
+            grad = np.zeros_like(self.data)
+            np.add.at(grad, index, out.grad)
+            self._accumulate(grad)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out = Tensor._result(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
+
+        def backward() -> None:
+            grad = out.grad
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        out._backward = backward
+        return out
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        count = self.data.size if axis is None else np.prod(
+            [self.shape[a] for a in (axis if isinstance(axis, tuple) else (axis,))])
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        out = Tensor._result(out_data, (self,), "max")
+
+        def backward() -> None:
+            grad = out.grad
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded)
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            self._accumulate(mask * grad / counts)
+
+        out._backward = backward
+        return out
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities (also exposed in functional)
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+        out = Tensor._result(out_data, (self,), "exp")
+
+        def backward() -> None:
+            self._accumulate(out.grad * out_data)
+
+        out._backward = backward
+        return out
+
+    def log(self) -> "Tensor":
+        out = Tensor._result(np.log(self.data), (self,), "log")
+
+        def backward() -> None:
+            self._accumulate(out.grad / self.data)
+
+        out._backward = backward
+        return out
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def stack_parameters(params: Iterable[Tensor]) -> int:
+    """Total number of scalar parameters, used for model summaries."""
+    return int(sum(p.data.size for p in params))

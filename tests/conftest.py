@@ -1,0 +1,23 @@
+"""Shared pytest fixtures.
+
+Also makes ``repro`` importable straight from the source tree when the
+package has not been installed (offline environments without wheel support).
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, str(_SRC))
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

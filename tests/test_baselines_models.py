@@ -1,0 +1,166 @@
+"""Tests for GNN baselines, CASTER, Decagon, LR, and the unified runner."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (BASELINE_NAMES, BaselineConfig, Caster,
+                             CasterConfig, Decagon, DecagonConfig,
+                             GraphEncoder, LogisticRegression,
+                             UnsupervisedConfig, WalkConfig, pair_features,
+                             run_baseline, train_unsupervised_gnn)
+from repro.data import (balanced_pairs_and_labels, build_multimodal_graph,
+                        make_benchmark, random_split)
+from repro.graphs import Graph
+from repro.nn.gradcheck import gradcheck
+
+
+@pytest.fixture(scope="module")
+def small_setup():
+    bench = make_benchmark(scale=0.06, seed=0)
+    ds = bench.twosides
+    pairs, labels = balanced_pairs_and_labels(ds, seed=0)
+    split = random_split(len(pairs), seed=0)
+    return bench, ds, pairs, labels, split
+
+
+@pytest.fixture
+def ring_graph():
+    edges = [[i, (i + 1) % 8] for i in range(8)]
+    return Graph(8, np.array(edges))
+
+
+class TestLogisticRegression:
+    def test_learns_separable_data(self, rng):
+        X = rng.normal(size=(400, 6))
+        w = rng.normal(size=6)
+        y = (X @ w > 0).astype(float)
+        clf = LogisticRegression(epochs=300, seed=0).fit(X, y)
+        acc = (clf.predict(X) == y).mean()
+        assert acc > 0.95
+
+    def test_probabilities_in_range(self, rng):
+        X = rng.normal(size=(50, 3))
+        y = (rng.random(50) > 0.5).astype(float)
+        clf = LogisticRegression(epochs=50).fit(X, y)
+        probs = clf.predict_proba(X)
+        assert np.all(probs > 0) and np.all(probs < 1)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict_proba(np.ones((2, 2)))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.ones((3, 2)), np.ones(2))
+
+    def test_pair_features_concatenation(self):
+        emb = np.arange(12, dtype=float).reshape(4, 3)
+        feats = pair_features(emb, np.array([[0, 2], [1, 3]]))
+        np.testing.assert_allclose(feats[0], [0, 1, 2, 6, 7, 8])
+        assert feats.shape == (2, 6)
+
+
+class TestGraphEncoders:
+    @pytest.mark.parametrize("model", ["gcn", "gat", "graphsage"])
+    def test_output_shape(self, model, ring_graph, rng):
+        encoder = GraphEncoder(model, ring_graph, dim=8, rng=rng)
+        assert encoder().shape == (8, 8)
+
+    def test_unknown_model(self, ring_graph, rng):
+        with pytest.raises(ValueError):
+            GraphEncoder("sage++", ring_graph, 8, rng)
+
+    @pytest.mark.parametrize("model", ["gcn", "gat", "graphsage"])
+    def test_gradients_flow_to_features(self, model, ring_graph, rng):
+        encoder = GraphEncoder(model, ring_graph, dim=4, rng=rng)
+        out = (encoder() ** 2).sum()
+        out.backward()
+        assert encoder.features.grad is not None
+        assert np.abs(encoder.features.grad).max() > 0
+
+    def test_gcn_layer_gradcheck(self, ring_graph, rng):
+        encoder = GraphEncoder("gcn", ring_graph, dim=3, rng=rng)
+        gradcheck(lambda: (encoder() ** 2).sum(),
+                  list(encoder.layer1.parameters()))
+
+    def test_unsupervised_training_learns_ring(self, ring_graph):
+        config = UnsupervisedConfig(dim=16, epochs=150, seed=0)
+        emb = train_unsupervised_gnn("gcn", ring_graph, config)
+        assert emb.shape == (8, 16)
+        norm = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        adjacent = np.mean([norm[i] @ norm[(i + 1) % 8] for i in range(8)])
+        opposite = np.mean([norm[i] @ norm[(i + 4) % 8] for i in range(8)])
+        assert adjacent > opposite
+
+    def test_empty_graph_returns_random_features(self):
+        empty = Graph(5, np.empty((0, 2)))
+        emb = train_unsupervised_gnn("gcn", empty, UnsupervisedConfig(dim=4))
+        assert emb.shape == (5, 4)
+
+
+class TestCaster:
+    def test_fit_and_evaluate(self, small_setup):
+        _, ds, pairs, labels, split = small_setup
+        caster = Caster(CasterConfig(epochs=60, patience=15, seed=0))
+        caster.fit(ds.smiles, pairs, labels, split)
+        summary = caster.evaluate(pairs[split.test], labels[split.test])
+        assert summary.roc_auc > 55.0
+
+    def test_pair_functional_is_union(self, small_setup):
+        _, ds, pairs, labels, split = small_setup
+        caster = Caster(CasterConfig(epochs=2))
+        caster.fit(ds.smiles, pairs, labels, split)
+        vectors = caster._drug_vectors(ds.smiles)
+        functional = caster.pair_functional(vectors, np.array([[0, 1]]))
+        np.testing.assert_allclose(functional[0],
+                                   np.maximum(vectors[0], vectors[1]))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            Caster().predict_proba(np.array([[0, 1]]))
+
+
+class TestDecagon:
+    def test_fit_and_evaluate(self, small_setup):
+        bench, ds, pairs, labels, split = small_setup
+        graph = build_multimodal_graph(bench.universe, ds, seed=0)
+        decagon = Decagon(DecagonConfig(epochs=60, patience=15, dim=32))
+        decagon.fit(graph, pairs, labels, split)
+        summary = decagon.evaluate(pairs[split.test], labels[split.test])
+        assert summary.roc_auc > 55.0
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            Decagon().predict_proba(np.array([[0, 1]]))
+
+
+class TestRunner:
+    def test_unknown_baseline(self, small_setup):
+        _, ds, pairs, labels, split = small_setup
+        with pytest.raises(KeyError):
+            run_baseline("gpt", ds, pairs, labels, split)
+
+    def test_decagon_requires_universe(self, small_setup):
+        _, ds, pairs, labels, split = small_setup
+        with pytest.raises(ValueError):
+            run_baseline("decagon", ds, pairs, labels, split)
+
+    def test_baseline_names_cover_paper_rows(self):
+        assert "deepwalk" in BASELINE_NAMES
+        assert "node2vec" in BASELINE_NAMES
+        assert "graphsage-ssg" in BASELINE_NAMES
+        assert "caster" in BASELINE_NAMES
+        assert "decagon" in BASELINE_NAMES
+        assert len(BASELINE_NAMES) == 10
+
+    @pytest.mark.parametrize("name", ["deepwalk", "gcn-ddi", "gcn-ssg",
+                                      "caster"])
+    def test_each_family_beats_chance(self, name, small_setup):
+        bench, ds, pairs, labels, split = small_setup
+        config = BaselineConfig(
+            walk=WalkConfig(num_walks=4, walk_length=25, epochs=1),
+            unsupervised=UnsupervisedConfig(epochs=50),
+            caster=CasterConfig(epochs=50, patience=10))
+        summary = run_baseline(name, ds, pairs, labels, split, config,
+                               universe=bench.universe)
+        assert summary.roc_auc > 55.0

@@ -1,0 +1,152 @@
+"""Tests for random walks, skip-gram, and the embedding baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (SkipGramModel, WalkConfig, deepwalk_embeddings,
+                             node2vec_embeddings, node2vec_walks,
+                             skipgram_pairs, uniform_random_walks)
+from repro.graphs import Graph
+
+
+@pytest.fixture
+def path_graph():
+    # 0-1-2-3-4 path.
+    return Graph(5, np.array([[0, 1], [1, 2], [2, 3], [3, 4]]))
+
+
+@pytest.fixture
+def two_cliques():
+    """Two 4-cliques bridged by one edge — clear community structure."""
+    edges = []
+    for block in (range(4), range(4, 8)):
+        block = list(block)
+        for i_pos, i in enumerate(block):
+            for j in block[i_pos + 1:]:
+                edges.append([i, j])
+    edges.append([3, 4])
+    return Graph(8, np.array(edges))
+
+
+class TestWalks:
+    def test_walk_count_and_length(self, path_graph):
+        walks = uniform_random_walks(path_graph, num_walks=3, walk_length=10,
+                                     seed=0)
+        assert len(walks) == 3 * 5
+        assert all(len(w) == 10 for w in walks)
+
+    def test_walks_follow_edges(self, path_graph):
+        walks = uniform_random_walks(path_graph, 2, 8, seed=1)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert path_graph.has_edge(int(a), int(b))
+
+    def test_isolated_nodes_skipped(self):
+        g = Graph(4, np.array([[0, 1]]))
+        walks = uniform_random_walks(g, 1, 5, seed=0)
+        starts = {int(w[0]) for w in walks}
+        assert starts <= {0, 1}
+
+    def test_invalid_parameters(self, path_graph):
+        with pytest.raises(ValueError):
+            uniform_random_walks(path_graph, 0, 5)
+        with pytest.raises(ValueError):
+            node2vec_walks(path_graph, 1, 5, p=0.0)
+
+    def test_node2vec_walks_follow_edges(self, path_graph):
+        walks = node2vec_walks(path_graph, 2, 8, p=0.5, q=2.0, seed=2)
+        for walk in walks:
+            for a, b in zip(walk, walk[1:]):
+                assert path_graph.has_edge(int(a), int(b))
+
+    def test_node2vec_low_p_encourages_backtracking(self):
+        # On a path graph, p << 1 makes returning to the previous node
+        # much more likely than with p >> 1.
+        g = Graph(3, np.array([[0, 1], [1, 2]]))
+
+        def backtrack_rate(p):
+            walks = node2vec_walks(g, 30, 12, p=p, q=1.0, seed=3)
+            back = total = 0
+            for walk in walks:
+                for i in range(2, len(walk)):
+                    total += 1
+                    back += walk[i] == walk[i - 2]
+            return back / total
+
+        assert backtrack_rate(0.05) > backtrack_rate(20.0) + 0.1
+
+    def test_deterministic(self, path_graph):
+        a = uniform_random_walks(path_graph, 2, 6, seed=9)
+        b = uniform_random_walks(path_graph, 2, 6, seed=9)
+        assert all(np.array_equal(x, y) for x, y in zip(a, b))
+
+
+class TestSkipgramPairs:
+    def test_window_one(self):
+        pairs = skipgram_pairs([np.array([1, 2, 3])], window=1, seed=0)
+        as_set = {tuple(p) for p in pairs}
+        assert as_set == {(1, 2), (2, 1), (2, 3), (3, 2)}
+
+    def test_window_two_includes_skips(self):
+        pairs = skipgram_pairs([np.array([1, 2, 3])], window=2, seed=0)
+        as_set = {tuple(p) for p in pairs}
+        assert (1, 3) in as_set and (3, 1) in as_set
+
+    def test_empty_walks(self):
+        assert skipgram_pairs([], window=2).shape == (0, 2)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            skipgram_pairs([np.array([1, 2])], window=0)
+
+
+class TestSkipGramModel:
+    def test_embedding_shape(self):
+        model = SkipGramModel(10, 8, seed=0)
+        assert model.embeddings.shape == (10, 8)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            SkipGramModel(0, 8)
+
+    def test_training_brings_cooccurring_nodes_closer(self, two_cliques):
+        walks = uniform_random_walks(two_cliques, 20, 20, seed=0)
+        pairs = skipgram_pairs(walks, window=3, seed=0)
+        model = SkipGramModel(8, 16, seed=0).train(pairs, epochs=3)
+        emb = model.embeddings
+        emb = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        intra = np.mean([emb[0] @ emb[j] for j in (1, 2, 3)])
+        inter = np.mean([emb[0] @ emb[j] for j in (5, 6, 7)])
+        assert intra > inter
+
+    def test_empty_pairs_noop(self):
+        model = SkipGramModel(5, 4, seed=0)
+        before = model.embeddings.copy()
+        model.train(np.empty((0, 2), dtype=np.int64))
+        np.testing.assert_array_equal(before, model.embeddings)
+
+
+class TestEmbeddingBaselines:
+    def test_deepwalk_shapes(self, two_cliques):
+        config = WalkConfig(num_walks=3, walk_length=15, dim=12, epochs=1)
+        emb = deepwalk_embeddings(two_cliques, config)
+        assert emb.shape == (8, 12)
+
+    def test_node2vec_shapes(self, two_cliques):
+        config = WalkConfig(num_walks=3, walk_length=15, dim=12, epochs=1)
+        emb = node2vec_embeddings(two_cliques, config)
+        assert emb.shape == (8, 12)
+
+    def test_community_structure_recovered(self, two_cliques):
+        config = WalkConfig(num_walks=15, walk_length=20, dim=16, epochs=3,
+                            learning_rate=0.05)
+        emb = deepwalk_embeddings(two_cliques, config)
+        # Centre before cosine: SGNS embeddings share a dominant mean
+        # direction that masks community geometry.
+        emb = emb - emb.mean(axis=0)
+        emb = emb / (np.linalg.norm(emb, axis=1, keepdims=True) + 1e-12)
+        intra = np.mean([emb[i] @ emb[j] for i in range(4)
+                         for j in range(4) if i != j])
+        inter = np.mean([emb[i] @ emb[j] for i in range(4)
+                         for j in range(4, 8)])
+        assert intra > inter + 0.02

@@ -1,0 +1,189 @@
+"""Tests for ESPF (Algorithm 2) and k-mer (Algorithm 3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem import (ESPF, MoleculeGenerator, kmer_vocabulary, kmerize,
+                        kmerize_corpus, tokenize)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [r.smiles for r in MoleculeGenerator(seed=3).generate_corpus(60)]
+
+
+class TestESPF:
+    def test_requires_fit_before_encode(self):
+        with pytest.raises(RuntimeError):
+            ESPF().encode("CCO")
+
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            ESPF().fit([])
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            ESPF(frequency_threshold=0).fit(["CCO"])
+
+    def test_merges_frequent_pair(self):
+        espf = ESPF(frequency_threshold=3).fit(["CCO", "CCN", "CCS"])
+        # 'CC' occurs 3 times -> merged.
+        assert ("C", "C") in espf.merges
+        assert espf.encode("CCO")[0] == "CC"
+
+    def test_threshold_blocks_rare_pairs(self):
+        espf = ESPF(frequency_threshold=4).fit(["CCO", "CCN", "CCS"])
+        # 'CC' occurs only 3 times -> below threshold, nothing merged.
+        assert espf.num_merges == 0
+
+    def test_encoding_reconstructs_smiles(self, corpus):
+        espf = ESPF(frequency_threshold=5).fit(corpus)
+        for smiles in corpus[:20]:
+            assert "".join(espf.encode(smiles)) == smiles
+
+    def test_higher_threshold_fewer_nodes(self, corpus):
+        sizes = [len(ESPF(frequency_threshold=t).fit(corpus).vocabulary(corpus))
+                 for t in (5, 10, 15, 20, 25)]
+        # Monotone non-increasing: the Table II/III trend.
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert sizes[0] > sizes[-1]
+
+    def test_max_vocab_size_caps_merges(self, corpus):
+        espf = ESPF(frequency_threshold=2, max_vocab_size=7).fit(corpus)
+        assert espf.num_merges <= 7
+
+    def test_merged_tokens_are_substrings_of_drugs(self, corpus):
+        espf = ESPF(frequency_threshold=5).fit(corpus)
+        vocab = espf.vocabulary(corpus)
+        joined = "\n".join(corpus)
+        for token in vocab:
+            assert token in joined
+
+    def test_encode_unseen_drug(self, corpus):
+        espf = ESPF(frequency_threshold=5).fit(corpus)
+        unseen = "CCOc1ccccc1N"
+        tokens = espf.encode(unseen)
+        assert "".join(tokens) == unseen
+
+    def test_deterministic(self, corpus):
+        a = ESPF(frequency_threshold=5).fit(corpus)
+        b = ESPF(frequency_threshold=5).fit(corpus)
+        assert a.merges == b.merges
+
+    def test_single_token_drug(self):
+        espf = ESPF(frequency_threshold=2).fit(["CC", "CC"])
+        assert espf.encode("C") == ["C"]
+
+
+class TestKmer:
+    def test_paper_example_2mers(self):
+        # Sec. III-B: sequence NCCO -> 2-mers {NC, CC, CO}.
+        assert kmerize("NCCO", 2) == ["NC", "CC", "CO"]
+
+    def test_paper_example_3mers(self):
+        assert kmerize("NCCO", 3) == ["NCC", "CCO"]
+
+    def test_count_formula(self):
+        smiles = "CCOCCN"
+        for k in (1, 2, 3, 6):
+            assert len(kmerize(smiles, k)) == len(smiles) - k + 1
+
+    def test_k_equal_length(self):
+        assert kmerize("CCO", 3) == ["CCO"]
+
+    def test_short_string_returns_whole(self):
+        assert kmerize("CC", 5) == ["CC"]
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            kmerize("CCO", 0)
+
+    def test_empty_smiles(self):
+        with pytest.raises(ValueError):
+            kmerize("", 3)
+
+    def test_corpus_returns_drug_dict_and_multiset(self):
+        drug_dict, sub_list = kmerize_corpus(["NCCO", "CCO"], 2)
+        assert drug_dict["NCCO"] == ["NC", "CC", "CO"]
+        assert drug_dict["CCO"] == ["CC", "CO"]
+        assert len(sub_list) == 5
+
+    def test_vocabulary_distinct(self):
+        vocab = kmer_vocabulary(["NCCO", "CCO"], 2)
+        assert sorted(vocab) == ["CC", "CO", "NC"]
+
+    def test_larger_k_more_nodes_on_real_corpus(self, corpus):
+        sizes = [len(kmer_vocabulary(corpus, k)) for k in (3, 6, 9)]
+        assert sizes[0] < sizes[1] < sizes[2]
+
+
+class TestGenerator:
+    def test_unique_smiles(self):
+        records = MoleculeGenerator(seed=11).generate_corpus(80)
+        smiles = [r.smiles for r in records]
+        assert len(set(smiles)) == 80
+
+    def test_all_valid(self):
+        from repro.chem import is_valid_smiles
+        records = MoleculeGenerator(seed=12).generate_corpus(50)
+        assert all(is_valid_smiles(r.smiles) for r in records)
+
+    def test_deterministic_given_seed(self):
+        a = MoleculeGenerator(seed=5).generate_corpus(20)
+        b = MoleculeGenerator(seed=5).generate_corpus(20)
+        assert [r.smiles for r in a] == [r.smiles for r in b]
+
+    def test_different_seeds_differ(self):
+        a = MoleculeGenerator(seed=5).generate_corpus(20)
+        b = MoleculeGenerator(seed=6).generate_corpus(20)
+        assert [r.smiles for r in a] != [r.smiles for r in b]
+
+    def test_pharmacophores_subset_of_fragments(self):
+        for record in MoleculeGenerator(seed=7).generate_corpus(30):
+            assert record.pharmacophores <= set(record.fragment_names)
+
+    def test_drug_ids_sequential(self):
+        records = MoleculeGenerator(seed=8).generate_corpus(5)
+        assert [r.drug_id for r in records] == [f"SD{i:04d}" for i in range(5)]
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ValueError):
+            MoleculeGenerator(min_fragments=1)
+        with pytest.raises(ValueError):
+            MoleculeGenerator(min_fragments=5, max_fragments=3)
+        with pytest.raises(ValueError):
+            MoleculeGenerator(seed=0).generate_corpus(0)
+
+    def test_pharmacophore_substring_present(self):
+        """Latent reactive groups are literal substrings of the SMILES."""
+        from repro.chem import fragment_by_name
+        for record in MoleculeGenerator(seed=9).generate_corpus(30):
+            for name in record.pharmacophores:
+                assert fragment_by_name(name).smiles in record.smiles
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="CNO", min_size=1, max_size=30),
+       st.integers(min_value=1, max_value=10))
+def test_property_kmer_reconstruction(smiles, k):
+    """Overlapping k-mers reconstruct the original string."""
+    kmers = kmerize(smiles, k)
+    if len(smiles) < k:
+        assert kmers == [smiles]
+    else:
+        rebuilt = kmers[0] + "".join(km[-1] for km in kmers[1:])
+        assert rebuilt == smiles
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=6))
+def test_property_espf_tokens_cover_original(k):
+    corpus = [r.smiles for r in MoleculeGenerator(seed=k).generate_corpus(15)]
+    espf = ESPF(frequency_threshold=3).fit(corpus)
+    for smiles in corpus:
+        tokens = espf.encode(smiles)
+        assert "".join(tokens) == smiles
+        base = tokenize(smiles)
+        assert len(tokens) <= len(base)

@@ -1,0 +1,110 @@
+"""Tests for SMILES tokenisation and validation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem import (SmilesTokenError, SmilesValidationError, atom_count,
+                        is_atom_token, is_valid_smiles, tokenize,
+                        validate_smiles)
+
+
+class TestTokenize:
+    def test_simple_chain(self):
+        assert tokenize("CCO") == ["C", "C", "O"]
+
+    def test_two_letter_atoms(self):
+        assert tokenize("CClBr") == ["C", "Cl", "Br"]
+
+    def test_bracket_atom(self):
+        assert tokenize("C[N+](C)C") == ["C", "[N+]", "(", "C", ")", "C"]
+
+    def test_aromatic_ring(self):
+        assert tokenize("c1ccccc1") == ["c", "1", "c", "c", "c", "c", "c", "1"]
+
+    def test_bonds(self):
+        assert tokenize("C=C#N") == ["C", "=", "C", "#", "N"]
+
+    def test_two_digit_ring_closure(self):
+        assert tokenize("C%12CC%12") == ["C", "%12", "C", "C", "%12"]
+
+    def test_paper_example_db00226(self):
+        # The ESPF partitioning example from Sec. III-B.
+        smiles = "NC(N)=NCC1COC2(CCCCC2)O1"
+        tokens = tokenize(smiles)
+        assert "".join(tokens) == smiles
+        assert tokens[0] == "N"
+
+    def test_empty_raises(self):
+        with pytest.raises(SmilesTokenError):
+            tokenize("")
+
+    def test_unknown_character_raises(self):
+        with pytest.raises(SmilesTokenError):
+            tokenize("CC?")
+
+    def test_lowercase_unknown_aromatic_raises(self):
+        with pytest.raises(SmilesTokenError):
+            tokenize("Cx")
+
+    def test_roundtrip_concatenation(self):
+        smiles = "CC(=O)Oc1ccccc1C(=O)O"  # aspirin
+        assert "".join(tokenize(smiles)) == smiles
+
+
+class TestAtomPredicates:
+    def test_atoms(self):
+        for token in ("C", "c", "Cl", "Br", "[NH+]", "n", "S"):
+            assert is_atom_token(token)
+
+    def test_non_atoms(self):
+        for token in ("(", ")", "=", "#", "1", "%12", "/"):
+            assert not is_atom_token(token)
+
+    def test_atom_count_aspirin(self):
+        assert atom_count("CC(=O)Oc1ccccc1C(=O)O") == 13
+
+
+class TestValidate:
+    @pytest.mark.parametrize("smiles", [
+        "CCO",
+        "c1ccccc1",
+        "CC(=O)Oc1ccccc1C(=O)O",
+        "NC(N)=NCC1COC2(CCCCC2)O1",
+        "C[N+](=O)[O-]",
+        "C1CC1C1CC1",          # ring digit reuse after closure
+        "C(F)(F)F",
+        "c1ccc2ccccc2c1",
+    ])
+    def test_valid(self, smiles):
+        assert is_valid_smiles(smiles)
+
+    @pytest.mark.parametrize("smiles,fragment", [
+        ("(CC)", "start"),           # cannot start with a branch
+        ("C(C", "unclosed"),         # unclosed branch
+        ("CC)", "unbalanced"),       # close without open
+        ("C()C", "empty"),           # empty branch
+        ("C1CC", "ring"),            # unclosed ring
+        ("=CC", "bond"),             # leading bond
+        ("CC=", "dangling"),         # trailing bond
+        ("C(=)C", "dangling"),       # bond dangling before ')'
+        ("C((C))", "branch"),        # '(' directly after '('
+        ("1CC1", "ring closure"),    # ring digit before any atom
+    ])
+    def test_invalid(self, smiles, fragment):
+        with pytest.raises(SmilesValidationError):
+            validate_smiles(smiles)
+        assert not is_valid_smiles(smiles)
+
+    def test_validate_returns_tokens(self):
+        assert validate_smiles("CCO") == ["C", "C", "O"]
+
+    def test_lexical_error_becomes_validation_error(self):
+        with pytest.raises(SmilesValidationError):
+            validate_smiles("C?C")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(alphabet="CNOScnos", min_size=1, max_size=20))
+def test_property_plain_atom_strings_tokenize_losslessly(text):
+    assert "".join(tokenize(text)) == text

@@ -1,0 +1,231 @@
+"""Tests for the HyGNN core: attention layers, encoder, decoders, trainer."""
+
+import numpy as np
+import pytest
+
+from repro.core import (DotDecoder, HyGNN, HyGNNConfig, HyGNNEncoder,
+                        HyperedgeLevelAttention, MLPDecoder,
+                        NodeLevelAttention, Trainer, grid_configs,
+                        make_decoder, paper_grid, train_hygnn)
+from repro.data import balanced_pairs_and_labels, make_benchmark, random_split
+from repro.hypergraph import Hypergraph, build_drug_hypergraph
+from repro.nn import Tensor
+from repro.nn.gradcheck import gradcheck
+
+
+@pytest.fixture(scope="module")
+def tiny_hypergraph():
+    # 4 nodes, 3 hyperedges, hand-built.
+    return Hypergraph(4, 3,
+                      node_ids=[0, 1, 1, 2, 2, 3],
+                      edge_ids=[0, 0, 1, 1, 2, 2])
+
+
+@pytest.fixture(scope="module")
+def small_training_setup():
+    bench = make_benchmark(scale=0.06, seed=0)
+    ds = bench.twosides
+    pairs, labels = balanced_pairs_and_labels(ds, seed=0)
+    split = random_split(len(pairs), seed=0)
+    return ds, pairs, labels, split
+
+
+class TestAttentionLayers:
+    def test_hyperedge_level_output_shape(self, tiny_hypergraph, rng):
+        layer = HyperedgeLevelAttention(node_dim=5, edge_dim=6, out_dim=7, rng=rng)
+        p = Tensor(rng.normal(size=(4, 5)))
+        q = Tensor(rng.normal(size=(3, 6)))
+        out = layer(p, q, tiny_hypergraph.node_ids, tiny_hypergraph.edge_ids)
+        assert out.shape == (4, 7)
+
+    def test_node_level_output_shape(self, tiny_hypergraph, rng):
+        layer = NodeLevelAttention(node_dim=5, edge_dim=6, out_dim=7, rng=rng)
+        p = Tensor(rng.normal(size=(4, 5)))
+        q = Tensor(rng.normal(size=(3, 6)))
+        out = layer(p, q, tiny_hypergraph.node_ids, tiny_hypergraph.edge_ids)
+        assert out.shape == (3, 7)
+
+    def test_hyperedge_level_gradients(self, tiny_hypergraph, rng):
+        layer = HyperedgeLevelAttention(node_dim=3, edge_dim=3, out_dim=2, rng=rng)
+        p = Tensor(rng.normal(size=(4, 3)))
+        q = Tensor(rng.normal(size=(3, 3)))
+        gradcheck(lambda: (layer(p, q, tiny_hypergraph.node_ids,
+                                 tiny_hypergraph.edge_ids) ** 2).sum(),
+                  list(layer.parameters()))
+
+    def test_node_level_gradients(self, tiny_hypergraph, rng):
+        layer = NodeLevelAttention(node_dim=3, edge_dim=3, out_dim=2, rng=rng)
+        p = Tensor(rng.normal(size=(4, 3)))
+        q = Tensor(rng.normal(size=(3, 3)))
+        gradcheck(lambda: (layer(p, q, tiny_hypergraph.node_ids,
+                                 tiny_hypergraph.edge_ids) ** 2).sum(),
+                  list(layer.parameters()))
+
+    def test_attention_weights_normalised_per_edge(self, tiny_hypergraph, rng):
+        layer = NodeLevelAttention(node_dim=3, edge_dim=3, out_dim=2, rng=rng)
+        p = Tensor(rng.normal(size=(4, 3)))
+        q = Tensor(rng.normal(size=(3, 3)))
+        weights = layer.attention_weights(p, q, tiny_hypergraph.node_ids,
+                                          tiny_hypergraph.edge_ids)
+        for edge in range(3):
+            mask = tiny_hypergraph.edge_ids == edge
+            assert weights[mask].sum() == pytest.approx(1.0)
+
+
+class TestEncoder:
+    def test_output_shape(self, tiny_hypergraph, rng):
+        enc = HyGNNEncoder(num_substructures=4, embed_dim=8, hidden_dim=6,
+                           rng=rng, dropout=0.0)
+        out = enc.encode_hypergraph(tiny_hypergraph)
+        assert out.shape == (3, 6)
+
+    def test_rejects_zero_layers(self, rng):
+        with pytest.raises(ValueError):
+            HyGNNEncoder(4, 8, 6, rng, num_layers=0)
+
+    def test_two_layer_encoder(self, tiny_hypergraph, rng):
+        enc = HyGNNEncoder(4, 8, 6, rng, num_layers=2, dropout=0.0)
+        assert enc.encode_hypergraph(tiny_hypergraph).shape == (3, 6)
+
+    def test_node_id_out_of_vocab_raises(self, rng):
+        enc = HyGNNEncoder(2, 4, 4, rng, dropout=0.0)
+        with pytest.raises(ValueError):
+            enc.forward(np.array([5]), np.array([0]), 1)
+
+    def test_inductive_new_edges(self, tiny_hypergraph, rng):
+        """The encoder embeds hyperedges it never saw in training."""
+        enc = HyGNNEncoder(4, 8, 6, rng, dropout=0.0)
+        # New incidence over the same node vocabulary: 2 new drugs.
+        out = enc.forward(np.array([0, 3]), np.array([0, 1]), 2)
+        assert out.shape == (2, 6)
+
+    def test_deterministic_in_eval_mode(self, tiny_hypergraph, rng):
+        enc = HyGNNEncoder(4, 8, 6, rng, dropout=0.5)
+        enc.eval()
+        a = enc.encode_hypergraph(tiny_hypergraph).numpy()
+        b = enc.encode_hypergraph(tiny_hypergraph).numpy()
+        np.testing.assert_allclose(a, b)
+
+    def test_substructure_attention_shape(self, tiny_hypergraph, rng):
+        enc = HyGNNEncoder(4, 8, 6, rng, dropout=0.0)
+        weights = enc.substructure_attention(tiny_hypergraph)
+        assert weights.shape == (tiny_hypergraph.num_incidences,)
+        assert weights.sum() == pytest.approx(tiny_hypergraph.num_edges)
+
+
+class TestDecoders:
+    def test_mlp_decoder_shape(self, rng):
+        dec = MLPDecoder(embed_dim=6, hidden_dim=4, rng=rng)
+        left = Tensor(rng.normal(size=(5, 6)))
+        right = Tensor(rng.normal(size=(5, 6)))
+        assert dec(left, right).shape == (5,)
+
+    def test_dot_decoder_matches_numpy(self, rng):
+        dec = DotDecoder()
+        a = rng.normal(size=(4, 3))
+        b = rng.normal(size=(4, 3))
+        out = dec(Tensor(a), Tensor(b))
+        np.testing.assert_allclose(out.data, (a * b).sum(axis=1))
+
+    def test_dot_decoder_has_no_parameters(self):
+        assert DotDecoder().num_parameters() == 0
+
+    def test_mlp_decoder_gradients(self, rng):
+        dec = MLPDecoder(embed_dim=3, hidden_dim=4, rng=rng)
+        left = Tensor(rng.normal(size=(3, 3)))
+        right = Tensor(rng.normal(size=(3, 3)))
+        gradcheck(lambda: (dec(left, right) ** 2).sum(),
+                  list(dec.parameters()))
+
+    def test_factory(self, rng):
+        assert isinstance(make_decoder("mlp", 4, 4, rng), MLPDecoder)
+        assert isinstance(make_decoder("DOT", 4, 4, rng), DotDecoder)
+        with pytest.raises(ValueError):
+            make_decoder("bilinear", 4, 4, rng)
+
+
+class TestConfig:
+    def test_defaults_match_paper_best_variant(self):
+        config = HyGNNConfig()
+        assert config.method == "kmer" and config.decoder == "mlp"
+        assert config.num_layers == 1  # single-layer HyGNN (Sec. IV-B)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HyGNNConfig(method="fingerprint")
+        with pytest.raises(ValueError):
+            HyGNNConfig(decoder="bilinear")
+        with pytest.raises(ValueError):
+            HyGNNConfig(dropout=1.5)
+        with pytest.raises(ValueError):
+            HyGNNConfig(epochs=0)
+
+    def test_with_updates(self):
+        config = HyGNNConfig().with_updates(hidden_dim=128)
+        assert config.hidden_dim == 128
+
+    def test_paper_grid_is_table4(self):
+        grid = paper_grid()
+        assert set(grid["learning_rate"]) == {1e-2, 5e-2, 1e-3, 5e-3}
+        assert set(grid["hidden_dim"]) == {32, 64, 128}
+        assert set(grid["dropout"]) == {0.1, 0.5}
+        assert set(grid["weight_decay"]) == {1e-2, 1e-3}
+        assert len(grid_configs(HyGNNConfig(), grid)) == 48
+
+
+class TestModelAndTrainer:
+    def test_forward_logits_shape(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=2, embed_dim=16, hidden_dim=16)
+        model, hg, _ = HyGNN.for_corpus(ds.smiles, config)
+        logits = model(hg, pairs[:10])
+        assert logits.shape == (10,)
+
+    def test_predict_proba_in_unit_interval(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=2, embed_dim=16, hidden_dim=16)
+        model, hg, _ = HyGNN.for_corpus(ds.smiles, config)
+        probs = model.predict_proba(hg, pairs[:20])
+        assert np.all(probs >= 0) and np.all(probs <= 1)
+
+    def test_predict_proba_preserves_training_mode(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=2, embed_dim=16, hidden_dim=16)
+        model, hg, _ = HyGNN.for_corpus(ds.smiles, config)
+        model.train()
+        model.predict_proba(hg, pairs[:5])
+        assert model.training
+
+    def test_training_reduces_loss(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=40, patience=40, embed_dim=16,
+                             hidden_dim=16, seed=1)
+        model, hg, _ = HyGNN.for_corpus(ds.smiles, config)
+        trainer = Trainer(model, config)
+        history = trainer.fit(hg, pairs, labels, split)
+        assert history.train_loss[-1] < history.train_loss[0]
+
+    def test_training_beats_chance(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=120, patience=30, embed_dim=32,
+                             hidden_dim=32, seed=0)
+        model, hg, history, summary = train_hygnn(
+            ds.smiles, pairs, labels, split, config)
+        assert summary.roc_auc > 60.0  # way above the 50% chance level
+
+    def test_early_stopping_restores_best_weights(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=60, patience=5, embed_dim=16,
+                             hidden_dim=16, seed=2)
+        model, hg, _ = HyGNN.for_corpus(ds.smiles, config)
+        trainer = Trainer(model, config)
+        history = trainer.fit(hg, pairs, labels, split)
+        if history.stopped_early:
+            assert history.best_epoch < history.epochs_run - 1
+
+    def test_deterministic_given_seed(self, small_training_setup):
+        ds, pairs, labels, split = small_training_setup
+        config = HyGNNConfig(epochs=8, embed_dim=16, hidden_dim=16, seed=7)
+        _, _, _, s1 = train_hygnn(ds.smiles, pairs, labels, split, config)
+        _, _, _, s2 = train_hygnn(ds.smiles, pairs, labels, split, config)
+        assert s1 == s2

@@ -1,0 +1,287 @@
+"""Tests for datasets, synthetic generation, negative sampling, and splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.generator import DrugRecord
+from repro.data import (DDIDataset, balanced_pairs_and_labels,
+                        build_multimodal_graph, canonical_pairs,
+                        cold_start_split, load_benchmark, load_dataset,
+                        make_benchmark, random_split, sample_negative_pairs,
+                        scaled_counts)
+from repro.data.synthetic import (DRUGBANK_DENSITY, TWOSIDES_DENSITY,
+                                  DrugUniverse, InteractionModel)
+
+
+def _dummy_drugs(n):
+    return [DrugRecord(drug_id=f"SD{i:04d}", name=f"drug{i}", smiles="C" * (i + 1),
+                       fragment_names=("methylene",), pharmacophores=frozenset())
+            for i in range(n)]
+
+
+class TestDDIDataset:
+    def test_canonicalises_and_dedups(self):
+        ds = DDIDataset("t", _dummy_drugs(4),
+                        np.array([[1, 0], [0, 1], [2, 3]]))
+        assert ds.num_ddis == 2
+        assert ds.is_positive(0, 1) and ds.is_positive(1, 0)
+
+    def test_rejects_self_pairs(self):
+        with pytest.raises(ValueError):
+            DDIDataset("t", _dummy_drugs(3), np.array([[1, 1]]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            DDIDataset("t", _dummy_drugs(3), np.array([[0, 5]]))
+
+    def test_density(self):
+        ds = DDIDataset("t", _dummy_drugs(4), np.array([[0, 1], [2, 3]]))
+        assert ds.density == pytest.approx(2 / 6)
+
+    def test_statistics_row(self):
+        ds = DDIDataset("t", _dummy_drugs(3), np.array([[0, 1]]))
+        row = ds.statistics()
+        assert row["num_drugs"] == 3 and row["num_ddis"] == 1
+
+    def test_drug_by_id(self):
+        ds = DDIDataset("t", _dummy_drugs(3), np.array([[0, 1]]))
+        assert ds.drug_by_id("SD0001").name == "drug1"
+        with pytest.raises(KeyError):
+            ds.drug_by_id("nope")
+
+    def test_canonical_pairs_helper(self):
+        out = canonical_pairs(np.array([[3, 1], [0, 2]]))
+        np.testing.assert_array_equal(out, [[1, 3], [0, 2]])
+
+
+class TestInteractionModel:
+    def test_symmetric_rules(self):
+        model = InteractionModel(["a", "b", "c"], seed=0)
+        np.testing.assert_array_equal(model.rule_matrix, model.rule_matrix.T)
+
+    def test_no_self_rules(self):
+        model = InteractionModel(["a", "b", "c"], seed=0)
+        assert not model.rule_matrix.diagonal().any()
+
+    def test_every_pharmacophore_has_a_rule(self):
+        model = InteractionModel([f"p{i}" for i in range(10)], seed=1,
+                                 rule_density=0.01)
+        assert model.rule_matrix.any(axis=1).all()
+
+    def test_rule_positive_matrix_symmetric(self):
+        universe = DrugUniverse.generate(30, seed=2)
+        np.testing.assert_array_equal(universe.rule_positive,
+                                      universe.rule_positive.T)
+        assert not universe.rule_positive.diagonal().any()
+
+    def test_empty_pharmacophores_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionModel([], seed=0)
+
+
+class TestBenchmarkGeneration:
+    def test_full_scale_matches_table1(self):
+        counts = scaled_counts(1.0)
+        assert counts["twosides_drugs"] == 645
+        assert counts["twosides_ddis"] == 63_473
+        assert counts["drugbank_drugs"] == 1706
+        assert counts["drugbank_ddis"] == 191_402
+
+    def test_density_preserved_across_scales(self):
+        for scale in (0.1, 0.3, 1.0):
+            counts = scaled_counts(scale)
+            n = counts["twosides_drugs"]
+            density = counts["twosides_ddis"] / (n * (n - 1) / 2)
+            assert density == pytest.approx(TWOSIDES_DENSITY, rel=0.05)
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            scaled_counts(0.0)
+        with pytest.raises(ValueError):
+            scaled_counts(1.5)
+
+    def test_benchmark_small_scale(self):
+        bench = make_benchmark(scale=0.08, seed=0)
+        assert bench.twosides.num_drugs < bench.drugbank.num_drugs
+        assert bench.twosides.density == pytest.approx(TWOSIDES_DENSITY, rel=0.1)
+        assert bench.drugbank.density == pytest.approx(DRUGBANK_DENSITY, rel=0.1)
+
+    def test_twosides_drugs_are_subset_of_drugbank(self):
+        bench = make_benchmark(scale=0.08, seed=0)
+        db_ids = {d.drug_id for d in bench.drugbank.drugs}
+        assert all(d.drug_id in db_ids for d in bench.twosides.drugs)
+        # universe_indices maps TWOSIDES rows back to DrugBank rows.
+        for local, uni in enumerate(bench.twosides.universe_indices):
+            assert (bench.twosides.drugs[local].drug_id
+                    == bench.drugbank.drugs[uni].drug_id)
+
+    def test_twosides_subset_is_interaction_prone(self):
+        bench = make_benchmark(scale=0.15, seed=0)
+        subset_rate = bench.universe.rule_rate(bench.twosides.universe_indices)
+        global_rate = bench.universe.rule_rate()
+        assert subset_rate > global_rate
+
+    def test_label_disagreement_exists(self):
+        """Some pairs positive in one corpus are unlabeled in the other —
+        the raw material for the Tables VII/VIII case studies."""
+        bench = make_benchmark(scale=0.1, seed=0)
+        ts, db = bench.twosides, bench.drugbank
+        n = ts.num_drugs
+        db_only = sum(1 for i, j in db.positive_pairs
+                      if i < n and j < n and not ts.is_positive(i, j))
+        assert db_only > 0
+
+    def test_deterministic(self):
+        a = make_benchmark(scale=0.06, seed=5)
+        b = make_benchmark(scale=0.06, seed=5)
+        np.testing.assert_array_equal(a.twosides.positive_pairs,
+                                      b.twosides.positive_pairs)
+
+    def test_registry_caches(self):
+        a = load_benchmark(scale=0.06, seed=9)
+        b = load_benchmark(scale=0.06, seed=9)
+        assert a is b
+
+    def test_load_dataset_by_name(self):
+        ts = load_dataset("twosides", scale=0.06, seed=9)
+        db = load_dataset("DrugBank", scale=0.06, seed=9)
+        assert ts.name == "TWOSIDES" and db.name == "DrugBank"
+        with pytest.raises(KeyError):
+            load_dataset("sider", scale=0.06)
+
+    def test_positives_mostly_rule_positive(self):
+        bench = make_benchmark(scale=0.1, seed=1)
+        universe = bench.universe
+        ts = bench.twosides
+        rule = universe.rule_positive
+        uni = ts.universe_indices
+        hits = np.mean([rule[uni[i], uni[j]] for i, j in ts.positive_pairs])
+        assert hits > 0.9  # only the small noise fraction is off-rule
+
+
+class TestNegativeSampling:
+    def test_no_overlap_with_positives(self):
+        positives = np.array([[0, 1], [1, 2]])
+        negs = sample_negative_pairs(6, positives, 5, seed=0)
+        pos_set = {(0, 1), (1, 2)}
+        for i, j in negs:
+            assert (i, j) not in pos_set
+            assert i < j
+
+    def test_no_duplicates(self):
+        negs = sample_negative_pairs(10, np.array([[0, 1]]), 30, seed=0)
+        assert len({(i, j) for i, j in negs}) == 30
+
+    def test_exclusion_set_respected(self):
+        exclude = {(2, 3), (4, 5)}
+        negs = sample_negative_pairs(6, np.array([[0, 1]]), 10, seed=0,
+                                     exclude=exclude)
+        for i, j in negs:
+            assert (i, j) not in exclude
+
+    def test_exhausts_complement_exactly(self):
+        # 4 drugs -> 6 pairs; 2 positive -> exactly 4 negatives available.
+        negs = sample_negative_pairs(4, np.array([[0, 1], [2, 3]]), 4, seed=0)
+        assert len(negs) == 4
+
+    def test_too_many_requested_raises(self):
+        with pytest.raises(ValueError):
+            sample_negative_pairs(4, np.array([[0, 1]]), 6, seed=0)
+
+    def test_balanced_corpus(self):
+        bench = make_benchmark(scale=0.06, seed=0)
+        pairs, labels = balanced_pairs_and_labels(bench.twosides, seed=0)
+        assert labels.mean() == pytest.approx(0.5)
+        assert len(pairs) == 2 * bench.twosides.num_ddis
+
+    def test_balanced_deterministic(self):
+        bench = make_benchmark(scale=0.06, seed=0)
+        p1, l1 = balanced_pairs_and_labels(bench.twosides, seed=3)
+        p2, l2 = balanced_pairs_and_labels(bench.twosides, seed=3)
+        np.testing.assert_array_equal(p1, p2)
+        np.testing.assert_array_equal(l1, l2)
+
+
+class TestSplits:
+    def test_random_split_partitions(self):
+        split = random_split(100, seed=0)
+        all_idx = np.concatenate([split.train, split.val, split.test])
+        assert sorted(all_idx) == list(range(100))
+
+    def test_random_split_fractions(self):
+        split = random_split(1000, seed=0)
+        assert split.sizes() == (800, 100, 100)
+
+    def test_custom_fraction(self):
+        split = random_split(100, seed=0, train_fraction=0.5, val_fraction=0.2)
+        assert split.sizes() == (50, 20, 30)
+
+    def test_bad_fractions(self):
+        with pytest.raises(ValueError):
+            random_split(10, train_fraction=0.95, val_fraction=0.1)
+        with pytest.raises(ValueError):
+            random_split(2)
+
+    def test_different_seeds_differ(self):
+        a = random_split(50, seed=0)
+        b = random_split(50, seed=1)
+        assert not np.array_equal(a.train, b.train)
+
+    def test_cold_start_pairs_with_unseen_only_in_test(self):
+        pairs = np.array([[i, j] for i in range(20) for j in range(i + 1, 20)])
+        split, unseen = cold_start_split(pairs, 20, seed=0,
+                                         unseen_fraction=0.1)
+        unseen_set = set(unseen.tolist())
+        for idx in np.concatenate([split.train, split.val]):
+            i, j = pairs[idx]
+            assert i not in unseen_set and j not in unseen_set
+        touched = [idx for idx in split.test
+                   if pairs[idx][0] in unseen_set or pairs[idx][1] in unseen_set]
+        assert len(touched) == len(split.test)
+
+    def test_cold_start_partition_complete(self):
+        pairs = np.array([[i, j] for i in range(15) for j in range(i + 1, 15)])
+        split, _ = cold_start_split(pairs, 15, seed=1)
+        total = np.concatenate([split.train, split.val, split.test])
+        assert sorted(total) == list(range(len(pairs)))
+
+
+class TestMultimodal:
+    def test_graph_shapes(self):
+        bench = make_benchmark(scale=0.06, seed=0)
+        graph = build_multimodal_graph(bench.universe, bench.twosides, seed=0)
+        assert graph.num_drugs == bench.twosides.num_drugs
+        assert graph.num_proteins > 0
+        assert graph.drug_target_pairs.shape[1] == 2
+        assert graph.ppi_pairs.shape[1] == 2
+
+    def test_every_drug_has_a_target(self):
+        bench = make_benchmark(scale=0.06, seed=0)
+        graph = build_multimodal_graph(bench.universe, bench.twosides, seed=0)
+        drugs_with_targets = set(graph.drug_target_pairs[:, 0].tolist())
+        assert drugs_with_targets == set(range(graph.num_drugs))
+
+    def test_index_validation(self):
+        from repro.data import MultiModalGraph
+        with pytest.raises(ValueError):
+            MultiModalGraph(num_drugs=2, num_proteins=2,
+                            drug_target_pairs=np.array([[5, 0]]),
+                            ppi_pairs=np.empty((0, 2), dtype=np.int64))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=5, max_value=40), st.integers(min_value=0, max_value=100))
+def test_property_negative_sampling_sound(n_drugs, seed):
+    rng = np.random.default_rng(seed)
+    n_pos = min(3, n_drugs - 2)
+    pos = np.unique(np.sort(rng.integers(0, n_drugs, size=(n_pos, 2)), axis=1), axis=0)
+    pos = pos[pos[:, 0] != pos[:, 1]]
+    total = n_drugs * (n_drugs - 1) // 2
+    n_request = min(5, total - len(pos))
+    negs = sample_negative_pairs(n_drugs, pos, n_request, seed=seed)
+    pos_set = {(int(i), int(j)) for i, j in pos}
+    assert len(negs) == n_request
+    for i, j in negs:
+        assert i < j and (int(i), int(j)) not in pos_set

@@ -1,0 +1,86 @@
+"""Tests for the experiment harness (fast profile; shape checks only)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (EXPERIMENTS, FAST, ExperimentResult,
+                               RunProfile, run_table1, run_table2,
+                               select_cross_labeled_pairs)
+from repro.experiments.base import PROFILES
+from repro.data import load_benchmark
+
+
+class TestInfrastructure:
+    def test_profiles_registered(self):
+        assert set(PROFILES) == {"fast", "default", "full"}
+        assert PROFILES["full"].hygnn_epochs == 2000  # the paper's schedule
+        assert PROFILES["full"].scale == 1.0
+
+    def test_profile_hygnn_config(self):
+        config = FAST.hygnn_config(decoder="dot")
+        assert config.epochs == FAST.hygnn_epochs
+        assert config.decoder == "dot"
+
+    def test_profile_baseline_config_seeded(self):
+        a = FAST.baseline_config(seed=3)
+        assert a.walk.seed == 3 and a.unsupervised.seed == 3
+
+    def test_experiment_registry_covers_all_artifacts(self):
+        expected = {f"table{i}" for i in range(1, 10)}
+        expected |= {"fig2", "fig3", "fig4", "ablation"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_result_rendering(self):
+        result = ExperimentResult(
+            experiment_id="x", title="demo",
+            rows=[{"a": 1, "b": 2.5}], paper_rows=[{"a": 9, "b": None}],
+            notes="hello")
+        text = result.render()
+        assert "demo" in text and "2.50" in text and "hello" in text
+        assert "-" in text  # None formatted as dash
+
+    def test_result_empty_rows(self):
+        result = ExperimentResult(experiment_id="x", title="t")
+        assert result.format_table() == "(no rows)"
+
+
+class TestCheapExperiments:
+    def test_table1_densities(self):
+        result = run_table1(FAST)
+        by_name = {r["dataset"]: r for r in result.rows}
+        assert by_name["TWOSIDES"]["density"] == pytest.approx(0.3056,
+                                                               abs=0.02)
+        assert by_name["DrugBank"]["density"] == pytest.approx(0.1316,
+                                                               abs=0.02)
+
+    def test_table2_trends(self):
+        result = run_table2(FAST)
+        espf = [r["espf_nodes"] for r in result.rows]
+        kmer = [r["kmer_nodes"] for r in result.rows]
+        assert all(a >= b for a, b in zip(espf, espf[1:]))
+        assert kmer[0] < kmer[2]
+
+    def test_case_study_pair_selection(self):
+        benchmark = load_benchmark(scale=FAST.scale, seed=FAST.seed)
+        cases = select_cross_labeled_pairs(benchmark.twosides,
+                                           benchmark.drugbank,
+                                           n_positive=3, n_negative=3, seed=0)
+        labels = [c["validate_label"] for c in cases]
+        assert labels.count(1) >= 1 and labels.count(0) >= 1
+        # Every selected pair is unlabeled in the training corpus.
+        for case in cases:
+            a, b = case["pair"]
+            assert not benchmark.twosides.is_positive(a, b)
+
+    def test_case_study_positive_pairs_validated_correctly(self):
+        benchmark = load_benchmark(scale=FAST.scale, seed=FAST.seed)
+        ts, db = benchmark.twosides, benchmark.drugbank
+        cases = select_cross_labeled_pairs(ts, db, n_positive=3,
+                                           n_negative=3, seed=0)
+        db_map = {int(u): i for i, u in enumerate(db.universe_indices)}
+        for case in cases:
+            a, b = case["pair"]
+            u_a = int(ts.universe_indices[a])
+            u_b = int(ts.universe_indices[b])
+            is_db_pos = db.is_positive(db_map[u_a], db_map[u_b])
+            assert is_db_pos == bool(case["validate_label"])

@@ -1,0 +1,101 @@
+"""Tests for the simple-graph substrate (DDI graph, SSG, normalisations)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (Graph, build_ddi_graph, build_ssg_graph,
+                          gcn_normalized_adjacency, row_normalized_adjacency)
+
+
+class TestGraph:
+    def test_canonicalises_edges(self):
+        g = Graph(4, np.array([[2, 1], [1, 2], [0, 3]]))
+        assert g.num_edges == 2
+
+    def test_drops_self_loops(self):
+        g = Graph(3, np.array([[1, 1], [0, 2]]))
+        assert g.num_edges == 1
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Graph(2, np.array([[0, 5]]))
+
+    def test_adjacency_symmetric_binary(self):
+        g = Graph(3, np.array([[0, 1], [1, 2]]))
+        adj = g.adjacency().toarray()
+        np.testing.assert_array_equal(adj, adj.T)
+        assert set(np.unique(adj)) <= {0.0, 1.0}
+
+    def test_degrees(self):
+        g = Graph(3, np.array([[0, 1], [1, 2]]))
+        np.testing.assert_array_equal(g.degrees(), [1, 2, 1])
+
+    def test_neighbors(self):
+        g = Graph(4, np.array([[0, 1], [1, 2], [1, 3]]))
+        assert sorted(g.neighbors(1)) == [0, 2, 3]
+        assert g.neighbors(0).tolist() == [1]
+
+    def test_has_edge(self):
+        g = Graph(3, np.array([[0, 1]]))
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+        assert not g.has_edge(0, 2)
+        assert not g.has_edge(1, 1)
+
+    def test_empty_graph(self):
+        g = Graph(3, np.empty((0, 2)))
+        assert g.num_edges == 0
+        assert g.adjacency().nnz == 0
+
+
+class TestBuilders:
+    def test_ddi_graph_uses_training_pairs_only(self):
+        g = build_ddi_graph(5, np.array([[0, 1], [2, 3]]))
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1) and not g.has_edge(0, 2)
+
+    def test_ssg_min_shared_threshold(self):
+        token_sets = [{"ab", "bc", "cd"}, {"ab", "bc", "xx"}, {"zz"}]
+        g1 = build_ssg_graph(token_sets, min_shared=2)
+        assert g1.has_edge(0, 1)
+        assert g1.num_edges == 1
+        g2 = build_ssg_graph(token_sets, min_shared=3)
+        assert g2.num_edges == 0
+
+    def test_ssg_single_shared(self):
+        token_sets = [{"a"}, {"a"}, {"b"}]
+        g = build_ssg_graph(token_sets, min_shared=1)
+        assert g.has_edge(0, 1) and g.num_edges == 1
+
+    def test_ssg_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            build_ssg_graph([{"a"}], min_shared=0)
+
+
+class TestNormalisations:
+    def test_gcn_symmetric(self):
+        g = Graph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        norm = gcn_normalized_adjacency(g).toarray()
+        np.testing.assert_allclose(norm, norm.T)
+
+    def test_gcn_hand_computed_two_nodes(self):
+        # A+I = [[1,1],[1,1]], D=2 -> every entry 1/2.
+        g = Graph(2, np.array([[0, 1]]))
+        norm = gcn_normalized_adjacency(g).toarray()
+        np.testing.assert_allclose(norm, np.full((2, 2), 0.5))
+
+    def test_row_normalized_rows_sum_to_one(self):
+        g = Graph(4, np.array([[0, 1], [1, 2], [2, 3]]))
+        norm = row_normalized_adjacency(g).toarray()
+        sums = norm.sum(axis=1)
+        np.testing.assert_allclose(sums, np.ones(4))
+
+    def test_row_normalized_isolated_node_zero_row(self):
+        g = Graph(3, np.array([[0, 1]]))
+        norm = row_normalized_adjacency(g).toarray()
+        np.testing.assert_allclose(norm[2], np.zeros(3))
+
+    def test_row_normalized_with_self_loops(self):
+        g = Graph(3, np.array([[0, 1]]))
+        norm = row_normalized_adjacency(g, add_self_loops=True).toarray()
+        np.testing.assert_allclose(norm.sum(axis=1), np.ones(3))
+        assert norm[2, 2] == 1.0

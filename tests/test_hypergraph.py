@@ -1,0 +1,150 @@
+"""Tests for the hypergraph substrate and Algorithm 1 construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem import MoleculeGenerator
+from repro.hypergraph import (DrugHypergraphBuilder, Hypergraph,
+                              build_drug_hypergraph)
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [r.smiles for r in MoleculeGenerator(seed=21).generate_corpus(40)]
+
+
+class TestHypergraph:
+    def test_basic_construction(self):
+        hg = Hypergraph(3, 2, node_ids=[0, 1, 2, 0], edge_ids=[0, 0, 1, 1])
+        assert hg.num_nodes == 3 and hg.num_edges == 2
+        assert hg.num_incidences == 4
+
+    def test_deduplicates_incidences(self):
+        hg = Hypergraph(2, 1, node_ids=[0, 0, 1], edge_ids=[0, 0, 0])
+        assert hg.num_incidences == 2
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, 2, node_ids=[5], edge_ids=[0])
+        with pytest.raises(ValueError):
+            Hypergraph(2, 2, node_ids=[0], edge_ids=[5])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, 2, node_ids=[0, 1], edge_ids=[0])
+
+    def test_incidence_matrix_matches_paper_definition(self):
+        # H[i, j] = 1 iff node i in hyperedge j (Sec. III-A).
+        hg = Hypergraph(3, 2, node_ids=[0, 1, 1, 2], edge_ids=[0, 0, 1, 1])
+        H = hg.incidence_matrix().toarray()
+        np.testing.assert_array_equal(H, [[1, 0], [1, 1], [0, 1]])
+
+    def test_degrees(self):
+        hg = Hypergraph(3, 2, node_ids=[0, 1, 1, 2], edge_ids=[0, 0, 1, 1])
+        np.testing.assert_array_equal(hg.node_degrees(), [1, 2, 1])
+        np.testing.assert_array_equal(hg.edge_degrees(), [2, 2])
+
+    def test_hyperedges_are_degree_free(self):
+        """A hyperedge may contain any number of nodes (Sec. III-A)."""
+        hg = Hypergraph(5, 2, node_ids=[0, 1, 2, 3, 4, 0],
+                        edge_ids=[0, 0, 0, 0, 0, 1])
+        assert hg.edge_degrees().tolist() == [5, 1]
+
+    def test_nodes_of_edge_and_edges_of_node(self):
+        hg = Hypergraph(3, 2, node_ids=[0, 1, 1, 2], edge_ids=[0, 0, 1, 1])
+        assert sorted(hg.nodes_of_edge(0)) == [0, 1]
+        assert sorted(hg.edges_of_node(1)) == [0, 1]
+
+    def test_membership_rows_transpose(self):
+        hg = Hypergraph(3, 2, node_ids=[0, 1, 1, 2], edge_ids=[0, 0, 1, 1])
+        HT = hg.edge_membership_rows().toarray()
+        np.testing.assert_array_equal(HT, hg.incidence_matrix().toarray().T)
+
+    def test_statistics_keys(self):
+        hg = Hypergraph(3, 2, node_ids=[0, 1], edge_ids=[0, 1])
+        stats = hg.statistics()
+        assert stats["num_nodes"] == 3
+        assert stats["mean_edge_degree"] == 1.0
+
+    def test_label_length_validation(self):
+        with pytest.raises(ValueError):
+            Hypergraph(2, 1, node_ids=[0], edge_ids=[0], node_labels=["a"])
+
+
+class TestBuilder:
+    def test_fit_transform_shapes(self, corpus):
+        hg, builder = build_drug_hypergraph(corpus, method="kmer", parameter=4)
+        assert hg.num_edges == len(corpus)
+        assert hg.num_nodes == builder.num_nodes
+
+    def test_each_drug_has_substructures(self, corpus):
+        hg, _ = build_drug_hypergraph(corpus, method="kmer", parameter=4)
+        assert (hg.edge_degrees() > 0).all()
+
+    def test_unique_substructures_per_drug(self, corpus):
+        """Algorithm 1 uses each drug's *set* of substructures."""
+        builder = DrugHypergraphBuilder(method="kmer", parameter=3).fit(corpus)
+        hg = builder.transform(corpus)
+        # Incidences are deduplicated, so edge degree equals set size.
+        token_sets = builder.drug_token_sets(corpus)
+        np.testing.assert_array_equal(hg.edge_degrees(),
+                                      [len(s) for s in token_sets])
+
+    def test_espf_method(self, corpus):
+        hg, builder = build_drug_hypergraph(corpus, method="espf", parameter=5)
+        assert hg.num_nodes > 0
+        assert hg.num_edges == len(corpus)
+
+    def test_invalid_method(self):
+        with pytest.raises(ValueError):
+            DrugHypergraphBuilder(method="morgan")
+
+    def test_invalid_parameter(self):
+        with pytest.raises(ValueError):
+            DrugHypergraphBuilder(method="kmer", parameter=0)
+
+    def test_requires_fit(self):
+        builder = DrugHypergraphBuilder(method="kmer", parameter=3)
+        with pytest.raises(RuntimeError):
+            builder.transform(["CCO"])
+        with pytest.raises(RuntimeError):
+            _ = builder.num_nodes
+
+    def test_transform_new_drugs_drops_unknown_tokens(self, corpus):
+        """Cold-start path: unseen substructures are ignored (inductive)."""
+        builder = DrugHypergraphBuilder(method="kmer", parameter=4).fit(corpus[:30])
+        hg = builder.transform(corpus[30:])
+        assert hg.num_nodes == builder.num_nodes  # vocab frozen
+        assert hg.num_edges == len(corpus) - 30
+
+    def test_node_labels_are_substructures(self, corpus):
+        hg, builder = build_drug_hypergraph(corpus, method="kmer", parameter=4)
+        vocab = builder.vocabulary
+        for token, index in vocab.items():
+            assert hg.node_labels[index] == token
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            DrugHypergraphBuilder().fit([])
+
+    def test_incidence_entry_iff_substring(self, corpus):
+        """H[i, j] = 1 exactly when substructure i occurs in drug j."""
+        builder = DrugHypergraphBuilder(method="kmer", parameter=5).fit(corpus)
+        hg = builder.transform(corpus)
+        H = hg.incidence_matrix().toarray()
+        vocab = builder.vocabulary
+        for token, node in list(vocab.items())[:40]:
+            for drug_index, smiles in enumerate(corpus[:10]):
+                assert H[node, drug_index] == (1 if token in smiles else 0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=2, max_value=8))
+def test_property_kmer_hypergraph_consistency(k):
+    corpus = [r.smiles for r in MoleculeGenerator(seed=k + 50).generate_corpus(12)]
+    hg, builder = build_drug_hypergraph(corpus, method="kmer", parameter=k)
+    # Total incidences equal the sum of per-drug unique-token counts.
+    token_sets = builder.drug_token_sets(corpus)
+    assert hg.num_incidences == sum(len(s) for s in token_sets)

@@ -1,0 +1,180 @@
+"""Tests for the from-scratch classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (EvaluationSummary, accuracy_score, confusion_counts,
+                           f1_from_scores, f1_score, pr_auc_score,
+                           precision_score, recall_score, roc_auc_score,
+                           roc_curve)
+
+
+class TestConfusionAndF1:
+    def test_confusion_counts(self):
+        y = [1, 1, 0, 0, 1]
+        p = [1, 0, 0, 1, 1]
+        assert confusion_counts(y, p) == (2, 1, 1, 1)
+
+    def test_precision_recall(self):
+        y = [1, 1, 0, 0, 1]
+        p = [1, 0, 0, 1, 1]
+        assert precision_score(y, p) == pytest.approx(2 / 3)
+        assert recall_score(y, p) == pytest.approx(2 / 3)
+
+    def test_f1_hand_computed(self):
+        y = [1, 1, 0, 0, 1]
+        p = [1, 0, 0, 1, 1]
+        assert f1_score(y, p) == pytest.approx(2 / 3)
+
+    def test_f1_perfect(self):
+        assert f1_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_f1_all_wrong_is_zero(self):
+        assert f1_score([1, 1, 0], [0, 0, 1]) == 0.0
+
+    def test_f1_no_positive_predictions(self):
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_accuracy(self):
+        assert accuracy_score([1, 0, 1, 0], [1, 0, 0, 0]) == 0.75
+
+    def test_f1_from_scores_threshold(self):
+        y = [1, 0]
+        scores = [0.6, 0.4]
+        assert f1_from_scores(y, scores, threshold=0.5) == 1.0
+        assert f1_from_scores(y, scores, threshold=0.7) == 0.0
+
+    def test_rejects_non_binary_labels(self):
+        with pytest.raises(ValueError):
+            f1_score([0, 2], [0, 1])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            f1_score([], [])
+
+    def test_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            f1_score([1, 0], [1])
+
+
+class TestROCAUC:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_inverted_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties_give_half(self):
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_hand_computed_value(self):
+        # Pairs: (pos=0.8 vs negs 0.1, 0.7) -> 2 wins; (pos=0.4 vs 0.1 win,
+        # vs 0.7 lose) -> 1 win. AUC = 3/4.
+        y = [1, 1, 0, 0]
+        s = [0.8, 0.4, 0.1, 0.7]
+        assert roc_auc_score(y, s) == pytest.approx(0.75)
+
+    def test_tie_between_pos_and_neg_counts_half(self):
+        assert roc_auc_score([1, 0], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            roc_auc_score([1, 1], [0.5, 0.6])
+
+    def test_score_shift_invariance(self):
+        y = [0, 1, 1, 0, 1]
+        s = np.array([0.2, 0.6, 0.9, 0.4, 0.5])
+        assert roc_auc_score(y, s) == pytest.approx(roc_auc_score(y, s + 10))
+
+    def test_curve_endpoints(self):
+        fpr, tpr, _ = roc_curve([0, 1, 1, 0], [0.1, 0.9, 0.8, 0.3])
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+
+class TestPRAUC:
+    def test_perfect_ranking(self):
+        assert pr_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_hand_computed_value(self):
+        # Descending: (0.8,1) (0.7,0) (0.4,1) (0.1,0)
+        # AP = 0.5*1.0 + 0.5*(2/3) = 5/6.
+        y = [1, 1, 0, 0]
+        s = [0.8, 0.4, 0.1, 0.7]
+        assert pr_auc_score(y, s) == pytest.approx(5 / 6)
+
+    def test_all_negative_raises(self):
+        with pytest.raises(ValueError):
+            pr_auc_score([0, 0], [0.1, 0.2])
+
+    def test_baseline_equals_prevalence_for_constant_scores(self):
+        y = [1, 0, 0, 0]
+        assert pr_auc_score(y, [0.5] * 4) == pytest.approx(0.25)
+
+    def test_worst_ranking_low_but_positive(self):
+        score = pr_auc_score([1, 1, 0, 0], [0.1, 0.2, 0.8, 0.9])
+        assert 0 < score < 0.6
+
+
+class TestEvaluationSummary:
+    def test_percent_scaling(self):
+        summary = EvaluationSummary.from_scores([0, 1, 1, 0],
+                                                [0.2, 0.9, 0.8, 0.1])
+        assert summary.f1 == 100.0
+        assert summary.roc_auc == 100.0
+        assert summary.pr_auc == 100.0
+
+    def test_as_row_keys(self):
+        summary = EvaluationSummary(90.0, 95.0, 93.0)
+        assert set(summary.as_row()) == {"F1", "ROC-AUC", "PR-AUC"}
+
+    def test_str_format(self):
+        text = str(EvaluationSummary(90.123, 95.5, 93.0))
+        assert "F1=90.12" in text
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=200), st.integers(min_value=0, max_value=10**6))
+def test_property_roc_auc_in_unit_interval(n, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    s = rng.random(n)
+    auc = roc_auc_score(y, s)
+    assert 0.0 <= auc <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=200), st.integers(min_value=0, max_value=10**6))
+def test_property_roc_auc_complement_symmetry(n, seed):
+    """AUC(y, s) + AUC(y, -s) == 1 (with midrank tie handling)."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    s = rng.random(n)
+    assert roc_auc_score(y, s) + roc_auc_score(y, -s) == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=100), st.integers(min_value=0, max_value=10**6))
+def test_property_pr_auc_at_least_prevalence_for_perfect(n, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    if y.min() == y.max():
+        y[0] = 1 - y[0]
+    # Perfect scores: positives all above negatives.
+    s = y + rng.random(n) * 0.5
+    assert pr_auc_score(y, s) == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=100), st.integers(min_value=0, max_value=10**6))
+def test_property_f1_bounded(n, seed):
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, 2, size=n)
+    p = rng.integers(0, 2, size=n)
+    assert 0.0 <= f1_score(y, p) <= 1.0

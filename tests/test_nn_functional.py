@@ -1,0 +1,256 @@
+"""Tests for activations, segment ops, and sparse matmul."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Tensor
+from repro.nn import functional as F
+from repro.nn.gradcheck import gradcheck
+
+
+def _randt(shape, seed=0, shift=0.0, grad=True):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) + shift, requires_grad=grad)
+
+
+class TestActivations:
+    def test_relu_values(self):
+        out = F.relu(Tensor([-1.0, 0.0, 2.0]))
+        np.testing.assert_allclose(out.data, [0.0, 0.0, 2.0])
+
+    def test_relu_grad(self):
+        x = _randt((4, 3), seed=1)
+        gradcheck(lambda: (F.relu(x) * 2.0).sum(), [x])
+
+    def test_leaky_relu_values(self):
+        out = F.leaky_relu(Tensor([-2.0, 3.0]), negative_slope=0.1)
+        np.testing.assert_allclose(out.data, [-0.2, 3.0])
+
+    def test_leaky_relu_grad(self):
+        x = _randt((5,), seed=2)
+        gradcheck(lambda: F.leaky_relu(x, 0.2).sum(), [x])
+
+    def test_sigmoid_range(self):
+        out = F.sigmoid(Tensor([-100.0, 0.0, 100.0]))
+        assert np.all(out.data >= 0) and np.all(out.data <= 1)
+        assert out.data[1] == pytest.approx(0.5)
+        # Moderate inputs stay strictly inside (0, 1).
+        mid = F.sigmoid(Tensor([-10.0, 10.0]))
+        assert np.all(mid.data > 0) and np.all(mid.data < 1)
+
+    def test_sigmoid_extreme_no_overflow(self):
+        out = F.sigmoid(Tensor([-1000.0, 1000.0]))
+        assert np.isfinite(out.data).all()
+
+    def test_sigmoid_grad(self):
+        x = _randt((6,), seed=3)
+        gradcheck(lambda: F.sigmoid(x).sum(), [x])
+
+    def test_tanh_grad(self):
+        x = _randt((6,), seed=4)
+        gradcheck(lambda: F.tanh(x).sum(), [x])
+
+    def test_elu_values(self):
+        out = F.elu(Tensor([-1.0, 1.0]))
+        np.testing.assert_allclose(out.data, [np.expm1(-1.0), 1.0])
+
+    def test_elu_grad(self):
+        x = _randt((6,), seed=5)
+        gradcheck(lambda: F.elu(x).sum(), [x])
+
+    def test_softmax_rows_sum_to_one(self):
+        x = _randt((3, 5), seed=6, grad=False)
+        out = F.softmax(x, axis=-1)
+        np.testing.assert_allclose(out.data.sum(axis=-1), np.ones(3))
+
+    def test_softmax_shift_invariance(self):
+        x = np.random.default_rng(7).normal(size=(2, 4))
+        a = F.softmax(Tensor(x)).data
+        b = F.softmax(Tensor(x + 100.0)).data
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_softmax_grad(self):
+        x = _randt((2, 4), seed=8)
+        w = Tensor(np.random.default_rng(9).normal(size=(2, 4)))
+        gradcheck(lambda: (F.softmax(x) * w).sum(), [x])
+
+    def test_log_softmax_grad(self):
+        x = _randt((2, 4), seed=10)
+        w = Tensor(np.random.default_rng(11).normal(size=(2, 4)))
+        gradcheck(lambda: (F.log_softmax(x) * w).sum(), [x])
+
+    def test_clip_values_and_grad_mask(self):
+        x = Tensor([-2.0, 0.5, 2.0], requires_grad=True)
+        out = F.clip(x, -1.0, 1.0)
+        np.testing.assert_allclose(out.data, [-1.0, 0.5, 1.0])
+        out.sum().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 1.0, 0.0])
+
+
+class TestConcatGather:
+    def test_concat_values(self):
+        a, b = Tensor(np.ones((2, 2))), Tensor(np.zeros((2, 3)))
+        out = F.concat([a, b], axis=1)
+        assert out.shape == (2, 5)
+
+    def test_concat_grad(self):
+        a = _randt((2, 2), seed=12)
+        b = _randt((2, 3), seed=13)
+        w = Tensor(np.random.default_rng(14).normal(size=(2, 5)))
+        gradcheck(lambda: (F.concat([a, b], axis=1) * w).sum(), [a, b])
+
+    def test_concat_axis0_grad(self):
+        a = _randt((2, 3), seed=15)
+        b = _randt((4, 3), seed=16)
+        w = Tensor(np.random.default_rng(17).normal(size=(6, 3)))
+        gradcheck(lambda: (F.concat([a, b], axis=0) * w).sum(), [a, b])
+
+    def test_gather_rows_values(self):
+        x = Tensor(np.arange(12, dtype=float).reshape(4, 3))
+        out = F.gather_rows(x, np.array([3, 0]))
+        np.testing.assert_allclose(out.data, [[9, 10, 11], [0, 1, 2]])
+
+    def test_gather_rows_repeated_grad(self):
+        x = _randt((4, 3), seed=18)
+        idx = np.array([1, 1, 2])
+        gradcheck(lambda: (F.gather_rows(x, idx) ** 2).sum(), [x])
+
+
+class TestDropout:
+    def test_identity_when_eval(self):
+        x = Tensor(np.ones((10, 10)))
+        out = F.dropout(x, 0.5, training=False, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_identity_when_p_zero(self):
+        x = Tensor(np.ones(5))
+        out = F.dropout(x, 0.0, training=True, rng=np.random.default_rng(0))
+        assert out is x
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            F.dropout(Tensor(np.ones(3)), 1.0, True, np.random.default_rng(0))
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(42)
+        x = Tensor(np.ones(200_00))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_grad_uses_same_mask(self):
+        rng = np.random.default_rng(7)
+        x = Tensor(np.ones(100), requires_grad=True)
+        out = F.dropout(x, 0.5, training=True, rng=rng)
+        out.sum().backward()
+        # Gradient equals the mask (either 0 or 1/(1-p)).
+        np.testing.assert_allclose(np.unique(x.grad), [0.0, 2.0])
+
+
+class TestSegmentOps:
+    def test_segment_sum_values(self):
+        x = Tensor(np.arange(8, dtype=float).reshape(4, 2))
+        seg = np.array([0, 0, 1, 1])
+        out = F.segment_sum(x, seg, 2)
+        np.testing.assert_allclose(out.data, [[2, 4], [10, 12]])
+
+    def test_segment_sum_empty_segment(self):
+        x = Tensor(np.ones((2, 2)))
+        out = F.segment_sum(x, np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.data[1:], np.zeros((2, 2)))
+
+    def test_segment_sum_out_of_range(self):
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(np.ones((2, 2))), np.array([0, 5]), 2)
+
+    def test_segment_sum_grad(self):
+        x = _randt((6, 3), seed=19)
+        seg = np.array([0, 1, 1, 2, 2, 2])
+        w = Tensor(np.random.default_rng(20).normal(size=(3, 3)))
+        gradcheck(lambda: (F.segment_sum(x, seg, 3) * w).sum(), [x])
+
+    def test_segment_mean_values(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        out = F.segment_mean(x, np.array([0, 0, 1]), 2)
+        np.testing.assert_allclose(out.data, [[3.0], [6.0]])
+
+    def test_segment_mean_empty_segment_zero(self):
+        x = Tensor(np.ones((1, 2)))
+        out = F.segment_mean(x, np.array([0]), 2)
+        np.testing.assert_allclose(out.data[1], [0.0, 0.0])
+
+    def test_segment_softmax_normalises_per_segment(self):
+        scores = Tensor(np.random.default_rng(21).normal(size=7))
+        seg = np.array([0, 0, 0, 1, 1, 2, 2])
+        out = F.segment_softmax(scores, seg, 3)
+        for k in range(3):
+            assert out.data[seg == k].sum() == pytest.approx(1.0)
+
+    def test_segment_softmax_single_member_is_one(self):
+        out = F.segment_softmax(Tensor([5.0]), np.array([0]), 1)
+        np.testing.assert_allclose(out.data, [1.0])
+
+    def test_segment_softmax_stability_large_scores(self):
+        out = F.segment_softmax(Tensor([1000.0, 1000.0]), np.array([0, 0]), 1)
+        np.testing.assert_allclose(out.data, [0.5, 0.5])
+
+    def test_segment_softmax_grad(self):
+        scores = _randt((8,), seed=22)
+        seg = np.array([0, 0, 1, 1, 1, 2, 2, 2])
+        w = Tensor(np.random.default_rng(23).normal(size=8))
+        gradcheck(lambda: (F.segment_softmax(scores, seg, 3) * w).sum(), [scores])
+
+    def test_segment_softmax_rejects_2d(self):
+        with pytest.raises(ValueError):
+            F.segment_softmax(Tensor(np.ones((2, 2))), np.array([0, 1]), 2)
+
+    def test_segment_ids_must_be_1d(self):
+        with pytest.raises(ValueError):
+            F.segment_sum(Tensor(np.ones((2, 2))), np.array([[0], [1]]), 2)
+
+
+class TestSparseMatmul:
+    def test_values_match_dense(self):
+        rng = np.random.default_rng(24)
+        dense = (rng.random((5, 4)) < 0.4).astype(float)
+        mat = sp.csr_matrix(dense)
+        x = Tensor(rng.normal(size=(4, 3)))
+        out = F.sparse_matmul(mat, x)
+        np.testing.assert_allclose(out.data, dense @ x.data)
+
+    def test_grad(self):
+        rng = np.random.default_rng(25)
+        dense = (rng.random((5, 4)) < 0.5).astype(float)
+        mat = sp.csr_matrix(dense)
+        x = _randt((4, 3), seed=26)
+        w = Tensor(rng.normal(size=(5, 3)))
+        gradcheck(lambda: (F.sparse_matmul(mat, x) * w).sum(), [x])
+
+    def test_accepts_coo_input(self):
+        mat = sp.coo_matrix(np.eye(3))
+        x = Tensor(np.arange(6, dtype=float).reshape(3, 2))
+        out = F.sparse_matmul(mat, x)
+        np.testing.assert_allclose(out.data, x.data)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=5))
+def test_property_segment_sum_total_preserved(n, k):
+    rng = np.random.default_rng(n * 7 + k)
+    x = Tensor(rng.normal(size=(n, 2)))
+    seg = rng.integers(0, k, size=n)
+    out = F.segment_sum(x, seg, k)
+    np.testing.assert_allclose(out.data.sum(axis=0), x.data.sum(axis=0))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=30), st.integers(min_value=1, max_value=5))
+def test_property_segment_softmax_probabilities(n, k):
+    rng = np.random.default_rng(n * 13 + k)
+    seg = rng.integers(0, k, size=n)
+    out = F.segment_softmax(Tensor(rng.normal(size=n) * 10), seg, k)
+    assert np.all(out.data > 0) and np.all(out.data <= 1.0 + 1e-12)
+    for seg_id in np.unique(seg):
+        assert out.data[seg == seg_id].sum() == pytest.approx(1.0)

@@ -1,0 +1,154 @@
+"""Tests for Module / Linear / Dropout / Embedding / MLP."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (MLP, Dropout, Embedding, LeakyReLU, Linear, Module,
+                      ReLU, Sequential, Tensor)
+from repro.nn.gradcheck import gradcheck
+
+
+class TestModule:
+    def test_parameters_recurse_children(self, rng):
+        class Net(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Linear(2, 3, rng)
+                self.b = Linear(3, 1, rng)
+
+        net = Net()
+        names = dict(net.named_parameters())
+        assert set(names) == {"a.weight", "a.bias", "b.weight", "b.bias"}
+
+    def test_num_parameters(self, rng):
+        lin = Linear(4, 3, rng)
+        assert lin.num_parameters() == 4 * 3 + 3
+
+    def test_train_eval_propagates(self, rng):
+        net = Sequential(Linear(2, 2, rng), Dropout(0.5, rng))
+        net.eval()
+        assert not net.layers[1].training
+        net.train()
+        assert net.layers[1].training
+
+    def test_zero_grad_clears(self, rng):
+        lin = Linear(2, 1, rng)
+        out = lin(Tensor(np.ones((3, 2)))).sum()
+        out.backward()
+        assert lin.weight.grad is not None
+        lin.zero_grad()
+        assert lin.weight.grad is None
+
+    def test_state_dict_roundtrip(self, rng):
+        a = Linear(3, 2, rng)
+        b = Linear(3, 2, np.random.default_rng(999))
+        assert not np.allclose(a.weight.data, b.weight.data)
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_rejects_missing_keys(self, rng):
+        a = Linear(3, 2, rng)
+        with pytest.raises(KeyError):
+            a.load_state_dict({"weight": a.weight.data})
+
+    def test_load_state_dict_rejects_bad_shape(self, rng):
+        a = Linear(3, 2, rng)
+        state = a.state_dict()
+        state["weight"] = np.zeros((2, 3))
+        with pytest.raises(ValueError):
+            a.load_state_dict(state)
+
+    def test_forward_not_implemented(self):
+        with pytest.raises(NotImplementedError):
+            Module()(1)
+
+
+class TestLinear:
+    def test_output_shape(self, rng):
+        lin = Linear(5, 7, rng)
+        assert lin(Tensor(np.ones((3, 5)))).shape == (3, 7)
+
+    def test_no_bias(self, rng):
+        lin = Linear(5, 7, rng, bias=False)
+        assert lin.bias is None
+        assert lin.num_parameters() == 35
+
+    def test_gradients_flow(self, rng):
+        lin = Linear(3, 2, rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        gradcheck(lambda: (lin(x) ** 2).sum(), list(lin.parameters()))
+
+    def test_repr(self, rng):
+        assert "Linear(in=3, out=2" in repr(Linear(3, 2, rng))
+
+
+class TestDropout:
+    def test_rejects_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng)
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_eval_mode_identity(self, rng):
+        drop = Dropout(0.9, rng).eval()
+        x = Tensor(np.ones(50))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_train_mode_zeroes_entries(self, rng):
+        drop = Dropout(0.5, rng)
+        out = drop(Tensor(np.ones(1000)))
+        assert (out.data == 0).sum() > 300
+
+
+class TestEmbedding:
+    def test_lookup_shape(self, rng):
+        emb = Embedding(10, 4, rng)
+        out = emb(np.array([0, 3, 3]))
+        assert out.shape == (3, 4)
+        np.testing.assert_allclose(out.data[1], out.data[2])
+
+    def test_grad_accumulates_on_repeats(self, rng):
+        emb = Embedding(5, 2, rng)
+        out = emb(np.array([1, 1, 2])).sum()
+        out.backward()
+        np.testing.assert_allclose(emb.weight.grad[1], [2.0, 2.0])
+        np.testing.assert_allclose(emb.weight.grad[2], [1.0, 1.0])
+        np.testing.assert_allclose(emb.weight.grad[0], [0.0, 0.0])
+
+
+class TestMLP:
+    def test_requires_two_dims(self, rng):
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+
+    def test_hidden_relu_output_linear(self, rng):
+        mlp = MLP([4, 8, 1], rng)
+        # Output layer must be linear: negative outputs possible.
+        out = mlp(Tensor(rng.normal(size=(200, 4))))
+        assert (out.data < 0).any()
+
+    def test_gradcheck_two_layers(self, rng):
+        mlp = MLP([3, 5, 2], rng)
+        x = Tensor(rng.normal(size=(4, 3)))
+        gradcheck(lambda: (mlp(x) ** 2).sum(), list(mlp.parameters()))
+
+    def test_dropout_only_in_train_mode(self, rng):
+        mlp = MLP([3, 16, 1], rng, dropout=0.5)
+        x = Tensor(rng.normal(size=(8, 3)))
+        mlp.eval()
+        a = mlp(x).data
+        b = mlp(x).data
+        np.testing.assert_allclose(a, b)
+
+    def test_parameter_count(self, rng):
+        mlp = MLP([4, 8, 2], rng)
+        assert mlp.num_parameters() == (4 * 8 + 8) + (8 * 2 + 2)
+
+
+class TestActivationsModules:
+    def test_relu_module(self, rng):
+        assert (ReLU()(Tensor([-1.0, 1.0])).data == [0.0, 1.0]).all()
+
+    def test_leaky_relu_module(self, rng):
+        out = LeakyReLU(0.1)(Tensor([-10.0]))
+        np.testing.assert_allclose(out.data, [-1.0])

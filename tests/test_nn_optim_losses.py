@@ -1,0 +1,197 @@
+"""Tests for optimizers, losses, and initialisation."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Adam, Linear, Tensor, bce, bce_with_logits, mse
+from repro.nn import functional as F
+from repro.nn import init
+from repro.nn.gradcheck import gradcheck
+
+
+class TestSGD:
+    def test_basic_step(self):
+        p = Tensor([1.0], requires_grad=True)
+        p.grad = np.array([0.5])
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [0.95])
+
+    def test_momentum_accumulates(self):
+        p = Tensor([0.0], requires_grad=True)
+        opt = SGD([p], lr=1.0, momentum=0.9)
+        p.grad = np.array([1.0])
+        opt.step()
+        np.testing.assert_allclose(p.data, [-1.0])
+        p.grad = np.array([1.0])
+        opt.step()  # velocity = 0.9 * 1 + 1 = 1.9
+        np.testing.assert_allclose(p.data, [-2.9])
+
+    def test_weight_decay_shrinks(self):
+        p = Tensor([2.0], requires_grad=True)
+        p.grad = np.array([0.0])
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        np.testing.assert_allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_skips_params_without_grad(self):
+        p = Tensor([1.0], requires_grad=True)
+        SGD([p], lr=0.1).step()
+        np.testing.assert_allclose(p.data, [1.0])
+
+    def test_rejects_empty_params(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_rejects_nonpositive_lr(self):
+        p = Tensor([1.0], requires_grad=True)
+        with pytest.raises(ValueError):
+            SGD([p], lr=0.0)
+
+
+class TestAdam:
+    def test_first_step_size_is_lr(self):
+        # With bias correction, |first step| == lr regardless of grad scale.
+        p = Tensor([0.0], requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([123.0])
+        opt.step()
+        np.testing.assert_allclose(np.abs(p.data), [0.01], rtol=1e-6)
+
+    def test_zero_grad_clears(self):
+        p = Tensor([0.0], requires_grad=True)
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([1.0])
+        opt.zero_grad()
+        assert p.grad is None
+
+    def test_converges_on_quadratic(self):
+        p = Tensor([5.0], requires_grad=True)
+        opt = Adam([p], lr=0.2)
+        for _ in range(300):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        assert abs(p.data[0]) < 1e-2
+
+    def test_weight_decay_pulls_to_zero(self):
+        p = Tensor([3.0], requires_grad=True)
+        opt = Adam([p], lr=0.1, weight_decay=1.0)
+        for _ in range(200):
+            opt.zero_grad()
+            p.grad = np.zeros_like(p.data)
+            opt.step()
+        assert abs(p.data[0]) < 0.5
+
+
+class TestBCEWithLogits:
+    def test_matches_manual_formula(self):
+        logits = Tensor([0.3, -1.2, 2.0])
+        y = np.array([1.0, 0.0, 1.0])
+        expected = -(y * np.log(1 / (1 + np.exp(-logits.data)))
+                     + (1 - y) * np.log(1 - 1 / (1 + np.exp(-logits.data))))
+        loss = bce_with_logits(logits, y)
+        assert loss.item() == pytest.approx(expected.mean())
+
+    def test_extreme_logits_finite(self):
+        loss = bce_with_logits(Tensor([1000.0, -1000.0]), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        assert loss.item() == pytest.approx(0.0, abs=1e-8)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            bce_with_logits(Tensor([0.0, 1.0]), np.array([1.0]))
+
+    def test_gradient(self):
+        logits = Tensor(np.random.default_rng(0).normal(size=6), requires_grad=True)
+        y = (np.random.default_rng(1).random(6) > 0.5).astype(float)
+        gradcheck(lambda: bce_with_logits(logits, y), [logits])
+
+    def test_gradient_matches_sigmoid_minus_target(self):
+        logits = Tensor(np.array([0.0]), requires_grad=True)
+        bce_with_logits(logits, np.array([1.0])).backward()
+        np.testing.assert_allclose(logits.grad, [0.5 - 1.0])
+
+    def test_perfect_prediction_near_zero_loss(self):
+        loss = bce_with_logits(Tensor([20.0, -20.0]), np.array([1.0, 0.0]))
+        assert loss.item() < 1e-8
+
+
+class TestBCEOnProbabilities:
+    def test_matches_logits_version(self):
+        z = np.array([0.7, -0.3, 1.5])
+        y = np.array([1.0, 0.0, 1.0])
+        probs = F.sigmoid(Tensor(z))
+        a = bce(probs, y).item()
+        b = bce_with_logits(Tensor(z), y).item()
+        assert a == pytest.approx(b, rel=1e-9)
+
+    def test_gradient_through_sigmoid(self):
+        z = Tensor(np.random.default_rng(3).normal(size=5), requires_grad=True)
+        y = (np.random.default_rng(4).random(5) > 0.5).astype(float)
+        gradcheck(lambda: bce(F.sigmoid(z), y), [z])
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse(Tensor([1.0, 2.0]), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_gradient(self):
+        x = Tensor(np.random.default_rng(5).normal(size=4), requires_grad=True)
+        y = np.random.default_rng(6).normal(size=4)
+        gradcheck(lambda: mse(x, y), [x])
+
+
+class TestInit:
+    def test_xavier_uniform_bounds(self, rng):
+        t = init.xavier_uniform((100, 50), rng)
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(t.data).max() <= bound
+        assert t.requires_grad
+
+    def test_xavier_normal_std(self, rng):
+        t = init.xavier_normal((400, 400), rng)
+        assert t.data.std() == pytest.approx(np.sqrt(2.0 / 800), rel=0.1)
+
+    def test_kaiming_uniform_bounds(self, rng):
+        t = init.kaiming_uniform((100, 50), rng, negative_slope=0.0)
+        bound = np.sqrt(2.0) * np.sqrt(3.0 / 100)
+        assert np.abs(t.data).max() <= bound
+
+    def test_zeros(self):
+        t = init.zeros((3, 3))
+        assert (t.data == 0).all() and t.requires_grad
+
+    def test_vector_fans(self, rng):
+        t = init.xavier_uniform((10,), rng)
+        assert t.shape == (10,)
+
+
+class TestEndToEndTraining:
+    def test_linear_model_learns_separable_data(self, rng):
+        X = rng.normal(size=(300, 8))
+        w_true = rng.normal(size=8)
+        y = (X @ w_true > 0).astype(float)
+        lin = Linear(8, 1, rng)
+        opt = Adam(lin.parameters(), lr=0.05)
+        for _ in range(250):
+            opt.zero_grad()
+            loss = bce_with_logits(lin(Tensor(X)).reshape(300), y)
+            loss.backward()
+            opt.step()
+        acc = ((lin(Tensor(X)).data.reshape(-1) > 0) == y).mean()
+        assert acc > 0.95
+
+    def test_loss_decreases_monotonically_enough(self, rng):
+        X = rng.normal(size=(100, 4))
+        y = (X[:, 0] > 0).astype(float)
+        lin = Linear(4, 1, rng)
+        opt = SGD(lin.parameters(), lr=0.5)
+        losses = []
+        for _ in range(50):
+            opt.zero_grad()
+            loss = bce_with_logits(lin(Tensor(X)).reshape(100), y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        assert losses[-1] < losses[0] * 0.5
