@@ -9,6 +9,7 @@ Subpackages
 - ``repro.hypergraph``  drug hypergraph (Algorithm 1)
 - ``repro.graphs``      DDI graph and substructure-similarity graph (SSG)
 - ``repro.core``        the HyGNN model: attention encoder, decoders, trainer
+- ``repro.serving``     DDI screening service over cached drug embeddings
 - ``repro.baselines``   DeepWalk, node2vec, GCN/GAT/GraphSAGE, CASTER, Decagon
 - ``repro.metrics``     F1 / ROC-AUC / PR-AUC
 - ``repro.experiments`` harness regenerating every table and figure

@@ -4,7 +4,7 @@ MLP/dot decoders, end-to-end trainer, and the Table IV grid search."""
 from .attention import HyperedgeLevelAttention, NodeLevelAttention
 from .config import PAPER_GRID, HyGNNConfig
 from .decoder import DotDecoder, MLPDecoder, make_decoder
-from .encoder import HyGNNEncoder
+from .encoder import EncoderContext, HyGNNEncoder
 from .model import HyGNN
 from .search import SearchResult, grid_configs, grid_search, paper_grid
 from .serialize import load_model, save_model
@@ -14,7 +14,7 @@ __all__ = [
     "HyperedgeLevelAttention", "NodeLevelAttention",
     "HyGNNConfig", "PAPER_GRID",
     "MLPDecoder", "DotDecoder", "make_decoder",
-    "HyGNNEncoder", "HyGNN",
+    "HyGNNEncoder", "EncoderContext", "HyGNN",
     "Trainer", "TrainingHistory", "train_hygnn",
     "grid_search", "grid_configs", "paper_grid", "SearchResult",
     "save_model", "load_model",

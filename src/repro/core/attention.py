@@ -17,6 +17,7 @@ import numpy as np
 
 from ..nn import Linear, Module, Tensor
 from ..nn import functional as F
+from ..nn.functional import SegmentPartition
 
 
 class HyperedgeLevelAttention(Module):
@@ -38,7 +39,8 @@ class HyperedgeLevelAttention(Module):
         self.negative_slope = negative_slope
 
     def forward(self, node_feats: Tensor, edge_feats: Tensor,
-                node_ids: np.ndarray, edge_ids: np.ndarray) -> Tensor:
+                node_ids: np.ndarray, edge_ids: np.ndarray,
+                node_partition: SegmentPartition | None = None) -> Tensor:
         num_nodes = node_feats.shape[0]
         transformed = self.w1(edge_feats)                    # (E, out)
         keys = self.w2(edge_feats)                           # (E, a)
@@ -49,11 +51,13 @@ class HyperedgeLevelAttention(Module):
              ).sum(axis=1),
             self.negative_slope)
         # Eq. (5): softmax over the hyperedges containing each node.
-        attention = F.segment_softmax(scores, node_ids, num_nodes)
+        attention = F.segment_softmax(scores, node_ids, num_nodes,
+                                      partition=node_partition)
         # Eq. (4): attention-weighted sum of transformed hyperedge features.
         messages = (F.gather_rows(transformed, edge_ids)
                     * attention.reshape(-1, 1))
-        aggregated = F.segment_sum(messages, node_ids, num_nodes)
+        aggregated = F.segment_sum(messages, node_ids, num_nodes,
+                                   partition=node_partition)
         return F.leaky_relu(aggregated, self.negative_slope)
 
 
@@ -76,7 +80,8 @@ class NodeLevelAttention(Module):
         self.negative_slope = negative_slope
 
     def forward(self, node_feats: Tensor, edge_feats: Tensor,
-                node_ids: np.ndarray, edge_ids: np.ndarray) -> Tensor:
+                node_ids: np.ndarray, edge_ids: np.ndarray,
+                edge_partition: SegmentPartition | None = None) -> Tensor:
         num_edges = edge_feats.shape[0]
         transformed = self.w4(node_feats)                    # (V, out)
         keys = self.w5(node_feats)                           # (V, a)
@@ -87,15 +92,18 @@ class NodeLevelAttention(Module):
              ).sum(axis=1),
             self.negative_slope)
         # Eq. (8): softmax over the nodes inside each hyperedge.
-        attention = F.segment_softmax(scores, edge_ids, num_edges)
+        attention = F.segment_softmax(scores, edge_ids, num_edges,
+                                      partition=edge_partition)
         # Eq. (7): attention-weighted sum of transformed node features.
         messages = (F.gather_rows(transformed, node_ids)
                     * attention.reshape(-1, 1))
-        aggregated = F.segment_sum(messages, edge_ids, num_edges)
+        aggregated = F.segment_sum(messages, edge_ids, num_edges,
+                                   partition=edge_partition)
         return F.leaky_relu(aggregated, self.negative_slope)
 
     def attention_weights(self, node_feats: Tensor, edge_feats: Tensor,
-                          node_ids: np.ndarray, edge_ids: np.ndarray
+                          node_ids: np.ndarray, edge_ids: np.ndarray,
+                          edge_partition: SegmentPartition | None = None
                           ) -> np.ndarray:
         """Expose X_ji per incidence entry (for substructure importance)."""
         keys = self.w5(node_feats)
@@ -104,5 +112,5 @@ class NodeLevelAttention(Module):
             (F.gather_rows(keys, node_ids) * F.gather_rows(queries, edge_ids)
              ).sum(axis=1),
             self.negative_slope)
-        return F.segment_softmax(scores, edge_ids,
-                                 edge_feats.shape[0]).numpy()
+        return F.segment_softmax(scores, edge_ids, edge_feats.shape[0],
+                                 partition=edge_partition).numpy()

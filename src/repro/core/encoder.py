@@ -10,16 +10,48 @@ initial hyperedge features are the mean of their member nodes' embeddings,
 which keeps the encoder *inductive* — a drug never seen in training is
 embedded purely from its (known) substructures, enabling the Table IX
 cold-start experiment.
+
+Serving split
+-------------
+A hyperedge's embedding at layer *l* depends only on that layer's node
+features (a function of the *corpus* incidence alone) and the hyperedge's own
+members.  :meth:`HyGNNEncoder.encode_with_context` therefore records the
+per-layer node features as an :class:`EncoderContext`, and
+:meth:`HyGNNEncoder.encode_edges_subset` replays just the node-level
+aggregation for an arbitrary set of hyperedges against that frozen context —
+bitwise-identical to a full encode for corpus edges, and the paper's
+cold-start semantics (Table IX) for new drugs.  This is what lets a serving
+layer embed a newly registered drug in O(its substructures) instead of
+re-encoding the whole catalog hypergraph.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..hypergraph import Hypergraph
 from ..nn import Dropout, Module, Tensor, init
 from ..nn import functional as F
+from ..nn.functional import SegmentPartition
 from .attention import HyperedgeLevelAttention, NodeLevelAttention
+
+
+@dataclass(frozen=True)
+class EncoderContext:
+    """Frozen per-layer node features from one corpus encode.
+
+    ``layer_node_feats[l]`` is the node-feature tensor consumed by layer
+    *l*'s node-level attention; it is a function of the corpus incidence
+    structure only, never of the hyperedges being scored against it.
+    """
+
+    layer_node_feats: tuple[Tensor, ...]
+
+    @property
+    def num_layers(self) -> int:
+        return len(self.layer_node_feats)
 
 
 class HyGNNEncoder(Module):
@@ -54,38 +86,103 @@ class HyGNNEncoder(Module):
             node_dim = hidden_dim
             edge_dim = hidden_dim
 
+    # ------------------------------------------------------------------
+    def _check_node_ids(self, node_ids: np.ndarray) -> np.ndarray:
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        if node_ids.size and node_ids.max() >= self.num_substructures:
+            raise ValueError("node id exceeds the trained vocabulary")
+        return node_ids
+
     def initial_features(self, node_ids: np.ndarray, edge_ids: np.ndarray,
-                         num_edges: int) -> tuple[Tensor, Tensor]:
+                         num_edges: int,
+                         edge_partition: SegmentPartition | None = None
+                         ) -> tuple[Tensor, Tensor]:
         """(p0, q0): node embeddings and mean-pooled hyperedge features."""
         p0 = self.node_embedding
         member_feats = F.gather_rows(p0, node_ids)
-        q0 = F.segment_mean(member_feats, edge_ids, num_edges)
+        q0 = F.segment_mean(member_feats, edge_ids, num_edges,
+                            partition=edge_partition)
         return p0, q0
 
     def forward(self, node_ids: np.ndarray, edge_ids: np.ndarray,
-                num_edges: int) -> Tensor:
+                num_edges: int,
+                partitions: tuple[SegmentPartition, SegmentPartition] | None = None
+                ) -> Tensor:
         """Drug embeddings of shape (num_edges, hidden_dim)."""
-        node_ids = np.asarray(node_ids, dtype=np.int64)
+        return self.encode_with_context(node_ids, edge_ids, num_edges,
+                                        partitions=partitions)[0]
+
+    def encode_with_context(self, node_ids: np.ndarray, edge_ids: np.ndarray,
+                            num_edges: int,
+                            partitions: tuple[SegmentPartition,
+                                              SegmentPartition] | None = None
+                            ) -> tuple[Tensor, EncoderContext]:
+        """Full encode that also returns the frozen per-layer node features.
+
+        ``partitions`` is the ``(node_partition, edge_partition)`` pair for
+        the incidence arrays; it is computed once here when absent and reused
+        by every segment op across all layers (``encode_hypergraph`` passes
+        the hypergraph's cached pair instead).
+        """
+        node_ids = self._check_node_ids(node_ids)
         edge_ids = np.asarray(edge_ids, dtype=np.int64)
-        if node_ids.size and node_ids.max() >= self.num_substructures:
-            raise ValueError("node id exceeds the trained vocabulary")
-        node_feats, edge_feats = self.initial_features(node_ids, edge_ids,
-                                                       num_edges)
+        if partitions is None:
+            partitions = (SegmentPartition(node_ids, self.num_substructures),
+                          SegmentPartition(edge_ids, num_edges))
+        node_part, edge_part = partitions
+        node_feats, edge_feats = self.initial_features(
+            node_ids, edge_ids, num_edges, edge_partition=edge_part)
         if self.dropout is not None:
             node_feats = self.dropout(node_feats)
+        context: list[Tensor] = []
         for edge_level, node_level in self.layers:
             # Eq. (2): node representations from incident hyperedges.
-            new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids)
+            new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids,
+                                   node_partition=node_part)
+            context.append(new_nodes)
             # Eq. (3): hyperedge representations from member nodes.
-            edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids)
+            edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids,
+                                    edge_partition=edge_part)
             node_feats = new_nodes
+            if self.dropout is not None:
+                edge_feats = self.dropout(edge_feats)
+        return edge_feats, EncoderContext(layer_node_feats=tuple(context))
+
+    def encode_edges_subset(self, context: EncoderContext,
+                            node_ids: np.ndarray, edge_ids: np.ndarray,
+                            num_edges: int,
+                            edge_partition: SegmentPartition | None = None
+                            ) -> Tensor:
+        """Embed ``num_edges`` hyperedges against a frozen corpus context.
+
+        Only the node-level aggregation runs per layer — O(incidences of the
+        subset) — and re-encoding the *full* corpus incidence through this
+        path reproduces :meth:`encode_with_context`'s output bitwise (in eval
+        mode).  Per-edge results are mathematically independent; encoding
+        edges one at a time matches a batch encode up to BLAS batch-shape
+        rounding (ULP-level: gemv vs gemm take different summation orders).
+        """
+        if context.num_layers != len(self.layers):
+            raise ValueError("context layer count does not match the encoder")
+        node_ids = self._check_node_ids(node_ids)
+        edge_ids = np.asarray(edge_ids, dtype=np.int64)
+        if edge_partition is None:
+            edge_partition = SegmentPartition(edge_ids, num_edges)
+        _, edge_feats = self.initial_features(
+            node_ids, edge_ids, num_edges, edge_partition=edge_partition)
+        for (_, node_level), layer_nodes in zip(self.layers,
+                                                context.layer_node_feats):
+            edge_feats = node_level(layer_nodes, edge_feats, node_ids,
+                                    edge_ids, edge_partition=edge_partition)
             if self.dropout is not None:
                 edge_feats = self.dropout(edge_feats)
         return edge_feats
 
     def encode_hypergraph(self, hypergraph: Hypergraph) -> Tensor:
         return self.forward(hypergraph.node_ids, hypergraph.edge_ids,
-                            hypergraph.num_edges)
+                            hypergraph.num_edges,
+                            partitions=(hypergraph.node_partition,
+                                        hypergraph.edge_partition))
 
     def substructure_attention(self, hypergraph: Hypergraph) -> np.ndarray:
         """Final-layer node-level attention X_ji per incidence entry.
@@ -94,13 +191,19 @@ class HyGNNEncoder(Module):
         drug's interactions (the paper's interpretability claim, Sec. I).
         """
         node_ids, edge_ids = hypergraph.node_ids, hypergraph.edge_ids
+        node_part = hypergraph.node_partition
+        edge_part = hypergraph.edge_partition
         node_feats, edge_feats = self.initial_features(
-            node_ids, edge_ids, hypergraph.num_edges)
+            node_ids, edge_ids, hypergraph.num_edges,
+            edge_partition=edge_part)
         for index, (edge_level, node_level) in enumerate(self.layers):
-            new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids)
+            new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids,
+                                   node_partition=node_part)
             if index == len(self.layers) - 1:
                 return node_level.attention_weights(
-                    new_nodes, edge_feats, node_ids, edge_ids)
-            edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids)
+                    new_nodes, edge_feats, node_ids, edge_ids,
+                    edge_partition=edge_part)
+            edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids,
+                                    edge_partition=edge_part)
             node_feats = new_nodes
         raise AssertionError("unreachable: encoder has >= 1 layer")

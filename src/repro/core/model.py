@@ -46,13 +46,23 @@ class HyGNN(Module):
         """Encoder output: one embedding per hyperedge (drug)."""
         return self.encoder.encode_hypergraph(hypergraph)
 
-    def forward(self, hypergraph: Hypergraph, pairs: np.ndarray) -> Tensor:
-        """Raw interaction logits for ``pairs`` (indices into hyperedges)."""
+    def score_pairs(self, embeddings: Tensor | np.ndarray,
+                    pairs: np.ndarray) -> Tensor:
+        """Decoder-only path: raw logits for ``pairs`` of embedding rows.
+
+        This is the hot path of a serving deployment — once drug embeddings
+        are cached, scoring a batch of pairs never touches the encoder.
+        """
+        if not isinstance(embeddings, Tensor):
+            embeddings = Tensor(embeddings)
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        embeddings = self.embed_drugs(hypergraph)
         left = F.gather_rows(embeddings, pairs[:, 0])
         right = F.gather_rows(embeddings, pairs[:, 1])
         return self.decoder(left, right)
+
+    def forward(self, hypergraph: Hypergraph, pairs: np.ndarray) -> Tensor:
+        """Raw interaction logits for ``pairs`` (indices into hyperedges)."""
+        return self.score_pairs(self.embed_drugs(hypergraph), pairs)
 
     def predict_proba(self, hypergraph: Hypergraph,
                       pairs: np.ndarray) -> np.ndarray:
@@ -61,6 +71,17 @@ class HyGNN(Module):
         self.eval()
         try:
             logits = self.forward(hypergraph, pairs)
+            return F.sigmoid(logits).numpy().copy()
+        finally:
+            self.train(was_training)
+
+    def predict_proba_from_embeddings(self, embeddings: Tensor | np.ndarray,
+                                      pairs: np.ndarray) -> np.ndarray:
+        """σ(γ(q_x, q_y)) over precomputed embedding rows (no encoder pass)."""
+        was_training = self.training
+        self.eval()
+        try:
+            logits = self.score_pairs(embeddings, pairs)
             return F.sigmoid(logits).numpy().copy()
         finally:
             self.train(was_training)

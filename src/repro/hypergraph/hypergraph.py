@@ -5,12 +5,20 @@ stored as an incidence list — parallel arrays ``(node_ids, edge_ids)`` with
 one entry per (node ∈ hyperedge) membership — plus a CSR incidence matrix
 view.  The incidence list is what the HyGNN attention layers consume: both
 attention levels are segment-softmaxes over these entries.
+
+Incidences are stored edge-major (sorted by ``(edge_id, node_id)``), which
+makes every hyperedge a contiguous slice.  The complementary node-major view
+and the :class:`~repro.nn.functional.SegmentPartition` groupings the encoder
+layers reuse are built once on first use and cached — ``nodes_of_edge`` /
+``edges_of_node`` are O(degree) slices, not O(num_incidences) scans.
 """
 
 from __future__ import annotations
 
 import numpy as np
 import scipy.sparse as sp
+
+from ..nn.functional import SegmentPartition
 
 
 class Hypergraph:
@@ -34,21 +42,64 @@ class Hypergraph:
         if edge_labels is not None and len(edge_labels) != num_edges:
             raise ValueError("edge_labels length mismatch")
 
-        # Deduplicate and sort incidences by (edge, node) for determinism.
+        # Deduplicate and sort incidences edge-major: lexsort puts duplicates
+        # adjacent, so dedup is a diff against the previous entry.
         order = np.lexsort((node_ids, edge_ids))
-        pairs = np.stack([node_ids[order], edge_ids[order]], axis=1)
-        pairs = np.unique(pairs, axis=0)
+        sorted_nodes = node_ids[order]
+        sorted_edges = edge_ids[order]
+        keep = np.ones(sorted_nodes.size, dtype=bool)
+        if sorted_nodes.size:
+            keep[1:] = ((sorted_nodes[1:] != sorted_nodes[:-1])
+                        | (sorted_edges[1:] != sorted_edges[:-1]))
         self.num_nodes = int(num_nodes)
         self.num_edges = int(num_edges)
-        self.node_ids = pairs[:, 0]
-        self.edge_ids = pairs[:, 1]
+        self.node_ids = sorted_nodes[keep]
+        self.edge_ids = sorted_edges[keep]
         self.node_labels = node_labels
         self.edge_labels = edge_labels
+        # Lazily built CSR views / segment partitions (the structure is
+        # immutable, so these never need invalidation).
+        self._edge_ptr: np.ndarray | None = None
+        self._node_ptr: np.ndarray | None = None
+        self._edges_by_node: np.ndarray | None = None
+        self._node_partition: SegmentPartition | None = None
+        self._edge_partition: SegmentPartition | None = None
 
     # ------------------------------------------------------------------
     @property
     def num_incidences(self) -> int:
         return len(self.node_ids)
+
+    @property
+    def edge_partition(self) -> SegmentPartition:
+        """Incidence entries grouped by hyperedge (identity order: edge-major)."""
+        if self._edge_partition is None:
+            self._edge_partition = SegmentPartition(self.edge_ids,
+                                                    self.num_edges)
+        return self._edge_partition
+
+    @property
+    def node_partition(self) -> SegmentPartition:
+        """Incidence entries grouped by node (cached stable sort)."""
+        if self._node_partition is None:
+            self._node_partition = SegmentPartition(self.node_ids,
+                                                    self.num_nodes)
+        return self._node_partition
+
+    def _edge_pointers(self) -> np.ndarray:
+        if self._edge_ptr is None:
+            counts = np.bincount(self.edge_ids, minlength=self.num_edges)
+            self._edge_ptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(counts)])
+        return self._edge_ptr
+
+    def _node_pointers(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._node_ptr is None:
+            part = self.node_partition
+            self._edges_by_node = part.gather(self.edge_ids)
+            self._node_ptr = np.concatenate(
+                [np.zeros(1, dtype=np.int64), np.cumsum(part.counts)])
+        return self._node_ptr, self._edges_by_node
 
     def incidence_matrix(self) -> sp.csr_matrix:
         """H with ``H[i, j] = 1`` iff node *i* belongs to hyperedge *j*."""
@@ -65,10 +116,18 @@ class Hypergraph:
         return np.bincount(self.edge_ids, minlength=self.num_edges)
 
     def nodes_of_edge(self, edge_id: int) -> np.ndarray:
-        return self.node_ids[self.edge_ids == edge_id]
+        """Sorted member nodes of one hyperedge — an O(degree) CSR slice."""
+        if not 0 <= edge_id < self.num_edges:
+            raise IndexError(f"edge id {edge_id} out of range")
+        ptr = self._edge_pointers()
+        return self.node_ids[ptr[edge_id]:ptr[edge_id + 1]]
 
     def edges_of_node(self, node_id: int) -> np.ndarray:
-        return self.edge_ids[self.node_ids == node_id]
+        """Sorted hyperedges containing one node — an O(degree) CSR slice."""
+        if not 0 <= node_id < self.num_nodes:
+            raise IndexError(f"node id {node_id} out of range")
+        ptr, edges_by_node = self._node_pointers()
+        return edges_by_node[ptr[node_id]:ptr[node_id + 1]]
 
     def edge_membership_rows(self) -> sp.csr_matrix:
         """``H.T`` — one row per hyperedge (drug), used as initial features."""

@@ -13,6 +13,7 @@ equivalent machinery on numpy so the whole reproduction runs offline:
 
 from . import functional
 from . import init
+from .functional import SegmentPartition
 from .gradcheck import gradcheck, numerical_gradient
 from .losses import bce, bce_with_logits, mse
 from .modules import (MLP, Dropout, Embedding, LeakyReLU, Linear, Module,
@@ -22,7 +23,7 @@ from .tensor import Tensor, ones, tensor, zeros
 
 __all__ = [
     "Tensor", "tensor", "zeros", "ones",
-    "functional", "init",
+    "functional", "init", "SegmentPartition",
     "Module", "Linear", "Dropout", "Embedding", "Sequential", "MLP",
     "ReLU", "LeakyReLU",
     "Optimizer", "SGD", "Adam",

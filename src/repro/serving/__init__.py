@@ -1,0 +1,17 @@
+"""``repro.serving`` — query-shaped deployment layer for trained HyGNN models.
+
+Turns the repeat-scoring hot path from O(full-graph encode) per call into
+O(pairs) over cached drug embeddings, with fingerprint-based invalidation on
+weight updates and incremental (cold-start, paper Table IX) registration of
+new drugs.
+"""
+
+from .cache import (FINGERPRINT_MODES, EmbeddingCache, ServiceStats,
+                    weights_fingerprint)
+from .service import DDIScreeningService, ScreenHit
+
+__all__ = [
+    "DDIScreeningService", "ScreenHit",
+    "EmbeddingCache", "ServiceStats", "weights_fingerprint",
+    "FINGERPRINT_MODES",
+]

@@ -1,0 +1,105 @@
+"""Versioned drug-embedding cache for the DDI screening service.
+
+The cache binds three things together: the catalog's embedding matrix, the
+frozen :class:`~repro.core.encoder.EncoderContext` new drugs are encoded
+against, and a *fingerprint* of the model weights that produced both.  Any
+weight update (an optimizer step, ``load_state_dict``, a manual edit) changes
+the fingerprint, which the service detects on the next query and rebuilds the
+cache — stale embeddings are never served.
+
+Two fingerprint modes are available:
+
+- ``"fast"`` (default): per-parameter shape + sum + strided sample sums.
+  O(params) numpy reductions, ~100x cheaper than hashing the raw bytes, and
+  any realistic training update (dense optimizers touch every entry) flips
+  it.  It is a checksum, not a cryptographic digest.
+- ``"full"``: BLAKE2b over every parameter's bytes — exact, for deployments
+  that would rather pay milliseconds per query than trust a checksum.
+
+``DDIScreeningService.invalidate()`` remains the explicit, guaranteed path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.encoder import EncoderContext
+from ..nn import Module
+
+FINGERPRINT_MODES = ("fast", "full")
+
+
+def weights_fingerprint(model: Module, mode: str = "fast") -> tuple:
+    """A hashable token identifying the model's current weights."""
+    if mode not in FINGERPRINT_MODES:
+        raise ValueError(f"fingerprint mode must be one of "
+                         f"{FINGERPRINT_MODES}, got {mode!r}")
+    if mode == "full":
+        digest = hashlib.blake2b(digest_size=16)
+        for name, param in sorted(model.named_parameters()):
+            digest.update(name.encode("utf-8"))
+            digest.update(str(param.data.shape).encode("utf-8"))
+            digest.update(np.ascontiguousarray(param.data).tobytes())
+        return ("full", digest.hexdigest())
+    parts: list[tuple] = []
+    for name, param in sorted(model.named_parameters()):
+        data = param.data
+        flat = data.reshape(-1)
+        parts.append((name, data.shape, float(flat.sum()),
+                      float(flat[::7].sum()), float(flat[1::13].sum())))
+    return ("fast", tuple(parts))
+
+
+@dataclass
+class ServiceStats:
+    """Observability counters for one :class:`DDIScreeningService`."""
+
+    corpus_encodes: int = 0        # full catalog-context rebuilds
+    incremental_encodes: int = 0   # drugs embedded without a rebuild
+    cache_hits: int = 0            # queries answered from cached embeddings
+    invalidations: int = 0         # caches dropped (stale weights / explicit)
+    pairs_scored: int = 0
+    screens: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+@dataclass
+class EmbeddingCache:
+    """Embedding matrix + encoder context, valid for one weights fingerprint."""
+
+    fingerprint: tuple | None = None
+    context: EncoderContext | None = None
+    embeddings: np.ndarray | None = None  # (num_catalog_drugs, hidden_dim)
+    stats: ServiceStats = field(default_factory=ServiceStats)
+
+    @property
+    def valid(self) -> bool:
+        return self.fingerprint is not None
+
+    def matches(self, fingerprint: tuple) -> bool:
+        return self.valid and self.fingerprint == fingerprint
+
+    def drop(self) -> None:
+        if self.valid:
+            self.stats.invalidations += 1
+        self.fingerprint = None
+        self.context = None
+        self.embeddings = None
+
+    def install(self, fingerprint: tuple, context: EncoderContext,
+                embeddings: np.ndarray) -> None:
+        self.fingerprint = fingerprint
+        self.context = context
+        self.embeddings = embeddings
+        self.stats.corpus_encodes += 1
+
+    def append_rows(self, rows: np.ndarray) -> None:
+        if not self.valid:
+            raise RuntimeError("cannot append to an invalid cache")
+        self.embeddings = np.concatenate([self.embeddings, rows], axis=0)
+        self.stats.incremental_encodes += len(rows)

@@ -1,0 +1,350 @@
+"""Batched DDI screening service over cached drug embeddings.
+
+``HyGNN.predict_proba`` re-encodes the *entire* corpus hypergraph for every
+call — fine for training loops, wasteful for serving, where the catalog is
+fixed and only the query pairs change.  :class:`DDIScreeningService` exploits
+the encoder's inductive split (:meth:`HyGNNEncoder.encode_with_context` /
+:meth:`~repro.core.encoder.HyGNNEncoder.encode_edges_subset`):
+
+1. Drug embeddings are computed **once** per (model weights, catalog) version
+   and cached; every scoring call after that is a vectorized decoder pass,
+   O(pairs) instead of O(full-graph encode).  Cached scores are
+   bitwise-identical to ``model.predict_proba`` on the catalog hypergraph.
+2. Weight updates are detected by fingerprint (see
+   :mod:`repro.serving.cache`) and invalidate the cache automatically;
+   :meth:`DDIScreeningService.invalidate` is the explicit override.
+3. New drugs register incrementally: their SMILES is tokenized against the
+   *fitted* vocabulary and encoded against the frozen corpus context — the
+   paper's cold-start semantics (Table IX) — without re-encoding a single
+   existing catalog drug.
+4. ``screen`` answers top-k "drug X against the whole catalog" queries.
+
+Build one with a live model (:meth:`DDIScreeningService.__init__`) or
+straight from a ``serialize.save_model`` artifact
+(:meth:`DDIScreeningService.from_artifact`) for a train → save → serve path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.encoder import EncoderContext
+from ..core.model import HyGNN
+from ..core.serialize import load_model
+from ..hypergraph import DrugHypergraphBuilder, Hypergraph
+from ..nn import Tensor
+from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
+
+
+@dataclass(frozen=True)
+class ScreenHit:
+    """One ranked candidate from a top-k screening query."""
+
+    index: int
+    drug_id: str
+    probability: float
+
+
+class DDIScreeningService:
+    """Embed-once / score-many serving layer for a trained HyGNN model."""
+
+    def __init__(self, model: HyGNN, builder: DrugHypergraphBuilder,
+                 catalog_smiles: list[str],
+                 drug_ids: list[str] | None = None,
+                 auto_refresh: bool = True,
+                 fingerprint_mode: str = "fast"):
+        if not catalog_smiles:
+            raise ValueError("catalog must contain at least one drug")
+        vocab = builder.vocabulary  # raises if the builder is unfitted
+        if len(vocab) != model.encoder.num_substructures:
+            raise ValueError(
+                f"builder vocabulary ({len(vocab)}) does not match the "
+                f"model ({model.encoder.num_substructures} substructures)")
+        if drug_ids is None:
+            drug_ids = [f"drug_{i}" for i in range(len(catalog_smiles))]
+        if len(drug_ids) != len(catalog_smiles):
+            raise ValueError("drug_ids length mismatch")
+        if len(set(drug_ids)) != len(drug_ids):
+            raise ValueError("drug ids must be unique")
+
+        self._model = model
+        self._builder = builder
+        self._vocab = vocab
+        self._auto_refresh = auto_refresh
+        self._fingerprint_mode = fingerprint_mode
+        self._smiles: list[str] = list(catalog_smiles)
+        self._drug_ids: list[str] = list(drug_ids)
+        self._index: dict[str, int] = {d: i for i, d in enumerate(drug_ids)}
+        # The corpus hypergraph is the frozen context every embedding — and
+        # every future registration — is computed against.
+        self._corpus: Hypergraph = builder.transform(catalog_smiles)
+        self._num_corpus = self._corpus.num_edges
+        # Incidence node ids of incrementally registered drugs, in
+        # registration order (needed to re-encode them after invalidation).
+        self._extension_nodes: list[np.ndarray] = []
+        self._cache = EmbeddingCache()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_artifact(cls, path: str | Path, catalog_smiles: list[str],
+                      drug_ids: list[str] | None = None,
+                      **kwargs) -> "DDIScreeningService":
+        """Load a ``serialize.save_model`` archive and serve it."""
+        model, builder = load_model(path)
+        return cls(model, builder, catalog_smiles, drug_ids=drug_ids,
+                   **kwargs)
+
+    # ------------------------------------------------------------------
+    # Catalog introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_drugs(self) -> int:
+        return len(self._smiles)
+
+    @property
+    def drug_ids(self) -> list[str]:
+        return list(self._drug_ids)
+
+    @property
+    def stats(self) -> ServiceStats:
+        return self._cache.stats
+
+    @property
+    def embeddings(self) -> np.ndarray:
+        """Read-only view of the cached catalog embeddings."""
+        self._ensure_fresh()
+        view = self._cache.embeddings.view()
+        view.flags.writeable = False
+        return view
+
+    def index_of(self, drug_id: str) -> int:
+        try:
+            return self._index[drug_id]
+        except KeyError:
+            raise KeyError(f"unknown drug id {drug_id!r}") from None
+
+    # ------------------------------------------------------------------
+    # Cache lifecycle
+    # ------------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Explicitly drop the cache; next query re-encodes the catalog."""
+        self._cache.drop()
+
+    def refresh(self, force: bool = False) -> None:
+        """Rebuild the cache now (``force=True`` skips the staleness check)."""
+        if force:
+            self._cache.drop()
+        self._ensure_fresh(check=True)
+
+    def _fingerprint(self) -> tuple:
+        return weights_fingerprint(self._model, mode=self._fingerprint_mode)
+
+    def _ensure_fresh(self, check: bool | None = None) -> None:
+        if check is None:
+            check = self._auto_refresh
+        if self._cache.valid and not check:
+            self._cache.stats.cache_hits += 1
+            return
+        fingerprint = self._fingerprint()
+        if self._cache.matches(fingerprint):
+            self._cache.stats.cache_hits += 1
+            return
+        self._cache.drop()
+        self._rebuild(fingerprint)
+
+    def _rebuild(self, fingerprint: tuple) -> None:
+        model = self._model
+        was_training = model.training
+        model.eval()
+        try:
+            corpus_emb, context = model.encoder.encode_with_context(
+                self._corpus.node_ids, self._corpus.edge_ids,
+                self._corpus.num_edges,
+                partitions=(self._corpus.node_partition,
+                            self._corpus.edge_partition))
+            rows = [corpus_emb.numpy()]
+            if self._extension_nodes:
+                node_ids = np.concatenate(self._extension_nodes)
+                edge_ids = np.repeat(
+                    np.arange(len(self._extension_nodes), dtype=np.int64),
+                    [len(n) for n in self._extension_nodes])
+                ext = model.encoder.encode_edges_subset(
+                    context, node_ids, edge_ids, len(self._extension_nodes))
+                rows.append(ext.numpy())
+            # Detach the context: serving never backprops, and a live context
+            # would pin the whole corpus-encode autograd graph in the cache.
+            detached = EncoderContext(layer_node_feats=tuple(
+                Tensor(t.data) for t in context.layer_node_feats))
+            self._cache.install(fingerprint, detached,
+                                np.concatenate(rows, axis=0))
+        finally:
+            model.train(was_training)
+
+    # ------------------------------------------------------------------
+    # Incremental registration
+    # ------------------------------------------------------------------
+    def _tokenize_batch(self, smiles_list: list[str],
+                        allow_unknown: bool) -> list[np.ndarray]:
+        token_sets = self._builder.drug_token_sets(smiles_list)
+        node_lists = []
+        for smiles, tokens in zip(smiles_list, token_sets):
+            if not tokens and not allow_unknown:
+                raise ValueError(
+                    f"no known substructures in {smiles!r}; its embedding "
+                    f"would be all-zero (pass allow_unknown=True to register "
+                    f"anyway)")
+            node_lists.append(np.array(
+                sorted(self._vocab[t] for t in tokens), dtype=np.int64))
+        return node_lists
+
+    def _tokenize(self, smiles: str, allow_unknown: bool) -> np.ndarray:
+        return self._tokenize_batch([smiles], allow_unknown)[0]
+
+    def register_drug(self, smiles: str, drug_id: str | None = None,
+                      allow_unknown: bool = False) -> int:
+        """Add one new drug to the catalog; O(its substructures), not O(catalog).
+
+        The drug is tokenized against the fitted vocabulary and embedded
+        against the frozen corpus context — existing catalog embeddings are
+        neither recomputed nor touched.  Returns the new catalog index.
+        """
+        return self.register_drugs([smiles],
+                                   None if drug_id is None else [drug_id],
+                                   allow_unknown=allow_unknown)[0]
+
+    def register_drugs(self, smiles_list: list[str],
+                       drug_ids: list[str] | None = None,
+                       allow_unknown: bool = False) -> list[int]:
+        """Batch registration; identical embeddings to one-at-a-time calls."""
+        if drug_ids is None:
+            drug_ids = [f"drug_{len(self._smiles) + i}"
+                        for i in range(len(smiles_list))]
+        if len(drug_ids) != len(smiles_list):
+            raise ValueError("drug_ids length mismatch")
+        clashes = [d for d in drug_ids if d in self._index]
+        if clashes or len(set(drug_ids)) != len(drug_ids):
+            raise ValueError(f"duplicate drug ids: {clashes or drug_ids}")
+        node_lists = self._tokenize_batch(smiles_list, allow_unknown)
+
+        self._ensure_fresh()
+        node_ids = (np.concatenate(node_lists) if node_lists
+                    else np.zeros(0, dtype=np.int64))
+        edge_ids = np.repeat(np.arange(len(node_lists), dtype=np.int64),
+                             [len(n) for n in node_lists])
+        model = self._model
+        was_training = model.training
+        model.eval()
+        try:
+            rows = model.encoder.encode_edges_subset(
+                self._cache.context, node_ids, edge_ids,
+                len(node_lists)).numpy()
+        finally:
+            model.train(was_training)
+        self._cache.append_rows(rows)
+
+        indices = []
+        for smiles, drug_id, nodes in zip(smiles_list, drug_ids, node_lists):
+            index = len(self._smiles)
+            self._smiles.append(smiles)
+            self._drug_ids.append(drug_id)
+            self._index[drug_id] = index
+            self._extension_nodes.append(nodes)
+            indices.append(index)
+        return indices
+
+    # ------------------------------------------------------------------
+    # Scoring
+    # ------------------------------------------------------------------
+    def _check_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        if pairs.size and (pairs.min() < 0 or pairs.max() >= self.num_drugs):
+            raise IndexError("pair index out of catalog range")
+        return pairs
+
+    def score_pairs(self, pairs: np.ndarray) -> np.ndarray:
+        """Interaction probabilities for ``pairs`` of catalog indices."""
+        pairs = self._check_pairs(pairs)
+        self._ensure_fresh()
+        self._cache.stats.pairs_scored += len(pairs)
+        return self._model.predict_proba_from_embeddings(
+            self._cache.embeddings, pairs)
+
+    def score_id_pairs(self, id_pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Like :meth:`score_pairs`, addressing drugs by their ids."""
+        pairs = np.array([[self.index_of(a), self.index_of(b)]
+                          for a, b in id_pairs], dtype=np.int64)
+        return self.score_pairs(pairs.reshape(-1, 2))
+
+    def _rank(self, probs: np.ndarray, top_k: int,
+              exclude: set[int]) -> list[ScreenHit]:
+        if top_k <= 0:
+            return []
+        order = np.argsort(-probs, kind="stable")
+        hits: list[ScreenHit] = []
+        for j in order:
+            if int(j) in exclude:
+                continue
+            hits.append(ScreenHit(index=int(j), drug_id=self._drug_ids[j],
+                                  probability=float(probs[j])))
+            if len(hits) == top_k:
+                break
+        return hits
+
+    def screen(self, query: int | str, top_k: int = 5,
+               exclude: tuple = (), symmetric: bool = False
+               ) -> list[ScreenHit]:
+        """Top-k most likely interaction partners of one catalog drug.
+
+        ``symmetric=True`` averages σ(γ(x, y)) and σ(γ(y, x)) — the MLP
+        decoder is order-sensitive; the dot decoder is already symmetric.
+        """
+        index = query if isinstance(query, int) else self.index_of(query)
+        if not 0 <= index < self.num_drugs:
+            raise IndexError(f"catalog index {index} out of range")
+        candidates = np.arange(self.num_drugs, dtype=np.int64)
+        pairs = np.stack([np.full_like(candidates, index), candidates], axis=1)
+        probs = self.score_pairs(pairs)
+        if symmetric:
+            probs = 0.5 * (probs + self.score_pairs(pairs[:, ::-1]))
+        self._cache.stats.screens += 1
+        excluded = {index} | {i if isinstance(i, int) else self.index_of(i)
+                              for i in exclude}
+        return self._rank(probs, top_k, excluded)
+
+    def screen_smiles(self, smiles: str, top_k: int = 5,
+                      symmetric: bool = False,
+                      allow_unknown: bool = False) -> list[ScreenHit]:
+        """Screen an *unregistered* SMILES against the catalog (transient).
+
+        The query drug is embedded on the fly against the frozen context and
+        discarded — nothing is added to the catalog.
+        """
+        nodes = self._tokenize(smiles, allow_unknown)
+        self._ensure_fresh()
+        model = self._model
+        was_training = model.training
+        model.eval()
+        try:
+            query_emb = model.encoder.encode_edges_subset(
+                self._cache.context, nodes,
+                np.zeros(len(nodes), dtype=np.int64), 1).numpy()
+        finally:
+            model.train(was_training)
+        table = np.concatenate([self._cache.embeddings, query_emb], axis=0)
+        query_index = self.num_drugs
+        candidates = np.arange(self.num_drugs, dtype=np.int64)
+        pairs = np.stack([np.full_like(candidates, query_index), candidates],
+                         axis=1)
+        probs = self._model.predict_proba_from_embeddings(table, pairs)
+        self._cache.stats.pairs_scored += len(pairs)
+        if symmetric:
+            probs = 0.5 * (probs + self._model.predict_proba_from_embeddings(
+                table, pairs[:, ::-1]))
+            self._cache.stats.pairs_scored += len(pairs)
+        self._cache.stats.screens += 1
+        return self._rank(probs, top_k, exclude=set())

@@ -1,0 +1,212 @@
+"""Property-based invariant tests for the hypergraph substrate and the
+segment kernels behind HyGNN's attention (randomized shapes via hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hypergraph import Hypergraph
+from repro.nn import SegmentPartition, Tensor
+from repro.nn import functional as F
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+incidence_lists = st.integers(min_value=1, max_value=9).flatmap(
+    lambda num_nodes: st.integers(min_value=1, max_value=9).flatmap(
+        lambda num_edges: st.lists(
+            st.tuples(st.integers(0, num_nodes - 1),
+                      st.integers(0, num_edges - 1)),
+            min_size=0, max_size=40,
+        ).map(lambda pairs: (num_nodes, num_edges, pairs))))
+
+
+def _build(num_nodes, num_edges, pairs):
+    node_ids = [p[0] for p in pairs]
+    edge_ids = [p[1] for p in pairs]
+    return Hypergraph(num_nodes, num_edges, node_ids=node_ids,
+                      edge_ids=edge_ids)
+
+
+segment_cases = st.integers(min_value=1, max_value=7).flatmap(
+    lambda num_segments: st.tuples(
+        st.just(num_segments),
+        st.lists(st.integers(0, num_segments - 1), min_size=0, max_size=30),
+        st.integers(min_value=1, max_value=5),   # feature dim
+        st.integers(min_value=0, max_value=2 ** 31 - 1)))
+
+
+# ---------------------------------------------------------------------------
+# Hypergraph invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(incidence_lists)
+def test_construction_is_order_invariant(case):
+    """Dedup/sort determinism: input permutation never changes the result."""
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    shuffled = list(pairs)
+    np.random.default_rng(0).shuffle(shuffled)
+    hg2 = _build(num_nodes, num_edges, shuffled)
+    np.testing.assert_array_equal(hg.node_ids, hg2.node_ids)
+    np.testing.assert_array_equal(hg.edge_ids, hg2.edge_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(incidence_lists)
+def test_incidences_sorted_and_unique(case):
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    stored = list(zip(hg.edge_ids.tolist(), hg.node_ids.tolist()))
+    assert stored == sorted(set(stored))  # edge-major, deduplicated
+    assert hg.num_incidences == len(set(pairs))
+
+
+@settings(max_examples=60, deadline=None)
+@given(incidence_lists)
+def test_degree_sums_equal_num_incidences(case):
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    assert hg.node_degrees().sum() == hg.num_incidences
+    assert hg.edge_degrees().sum() == hg.num_incidences
+
+
+@settings(max_examples=60, deadline=None)
+@given(incidence_lists)
+def test_incidence_matrix_round_trip(case):
+    """H's nonzeros rebuild the exact same hypergraph."""
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    rows, cols = hg.incidence_matrix().nonzero()
+    rebuilt = Hypergraph(num_nodes, num_edges, node_ids=rows, edge_ids=cols)
+    np.testing.assert_array_equal(hg.node_ids, rebuilt.node_ids)
+    np.testing.assert_array_equal(hg.edge_ids, rebuilt.edge_ids)
+
+
+@settings(max_examples=60, deadline=None)
+@given(incidence_lists)
+def test_csr_lookups_match_boolean_scans(case):
+    """The cached-CSR fast path serves exactly what a full scan would."""
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    for edge in range(num_edges):
+        reference = np.sort(hg.node_ids[hg.edge_ids == edge])
+        np.testing.assert_array_equal(np.sort(hg.nodes_of_edge(edge)),
+                                      reference)
+    for node in range(num_nodes):
+        reference = np.sort(hg.edge_ids[hg.node_ids == node])
+        np.testing.assert_array_equal(np.sort(hg.edges_of_node(node)),
+                                      reference)
+
+
+@settings(max_examples=30, deadline=None)
+@given(incidence_lists)
+def test_partitions_tile_the_incidence_list(case):
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    for partition, ids in ((hg.edge_partition, hg.edge_ids),
+                           (hg.node_partition, hg.node_ids)):
+        assert partition.counts.sum() == hg.num_incidences
+        gathered = partition.gather(ids)
+        assert np.all(np.diff(gathered) >= 0)  # grouped contiguously
+
+
+# ---------------------------------------------------------------------------
+# Segment kernel invariants
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=60, deadline=None)
+@given(segment_cases)
+def test_segment_softmax_sums_to_one(case):
+    num_segments, ids, _, seed = case
+    ids = np.array(ids, dtype=np.int64)
+    scores = Tensor(np.random.default_rng(seed).normal(size=ids.size) * 5)
+    partition = SegmentPartition(ids, num_segments)
+    for part in (None, partition):
+        out = F.segment_softmax(scores, ids, num_segments,
+                                partition=part).numpy()
+        for segment in range(num_segments):
+            mask = ids == segment
+            if mask.any():
+                assert out[mask].sum() == pytest.approx(1.0)
+        assert np.all(out > 0) if ids.size else True
+
+
+@settings(max_examples=60, deadline=None)
+@given(segment_cases)
+def test_segment_mean_of_constant_segment_is_constant(case):
+    num_segments, ids, dim, seed = case
+    ids = np.array(ids, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    constants = rng.normal(size=(num_segments, dim))
+    x = Tensor(constants[ids] if ids.size else np.zeros((0, dim)))
+    partition = SegmentPartition(ids, num_segments)
+    for part in (None, partition):
+        out = F.segment_mean(x, ids, num_segments, partition=part).numpy()
+        for segment in range(num_segments):
+            if (ids == segment).any():
+                np.testing.assert_allclose(out[segment], constants[segment])
+            else:
+                np.testing.assert_array_equal(out[segment],
+                                              np.zeros(dim))
+
+
+@settings(max_examples=60, deadline=None)
+@given(segment_cases)
+def test_partitioned_segment_ops_match_naive(case):
+    """The reduceat fast path matches the add.at scatter path to round-off
+    (reduceat may sum pairwise, so the last bits can differ)."""
+    num_segments, ids, dim, seed = case
+    ids = np.array(ids, dtype=np.int64)
+    rng = np.random.default_rng(seed)
+    x = Tensor(rng.normal(size=(ids.size, dim)))
+    scores = Tensor(rng.normal(size=ids.size))
+    partition = SegmentPartition(ids, num_segments)
+    np.testing.assert_allclose(
+        F.segment_sum(x, ids, num_segments).numpy(),
+        F.segment_sum(x, ids, num_segments, partition=partition).numpy(),
+        rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(
+        F.segment_mean(x, ids, num_segments).numpy(),
+        F.segment_mean(x, ids, num_segments, partition=partition).numpy(),
+        rtol=1e-12, atol=1e-12)
+    np.testing.assert_allclose(
+        F.segment_softmax(scores, ids, num_segments).numpy(),
+        F.segment_softmax(scores, ids, num_segments,
+                          partition=partition).numpy(),
+        rtol=1e-12, atol=1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(segment_cases)
+def test_segment_sum_matches_dense_reference(case):
+    num_segments, ids, dim, seed = case
+    ids = np.array(ids, dtype=np.int64)
+    x = np.random.default_rng(seed).normal(size=(ids.size, dim))
+    partition = SegmentPartition(ids, num_segments)
+    out = F.segment_sum(Tensor(x), ids, num_segments,
+                        partition=partition).numpy()
+    reference = np.zeros((num_segments, dim))
+    for row, segment in zip(x, ids):
+        reference[segment] += row
+    np.testing.assert_allclose(out, reference, rtol=0, atol=1e-12)
+
+
+def test_partition_rejects_mismatched_ids():
+    ids = np.array([0, 1, 1, 2])
+    partition = SegmentPartition(ids, 3)
+    with pytest.raises(ValueError):
+        F.segment_sum(Tensor(np.ones((4, 2))), ids, 4, partition=partition)
+    with pytest.raises(ValueError):
+        F.segment_sum(Tensor(np.ones((3, 2))), ids[:3], 3,
+                      partition=partition)
+
+
+def test_partition_identity_order_for_sorted_ids():
+    partition = SegmentPartition(np.array([0, 0, 1, 2, 2]), 3)
+    assert partition.order is None  # sorted input needs no gather
+    shuffled = SegmentPartition(np.array([2, 0, 1, 0, 2]), 3)
+    assert shuffled.order is not None
