@@ -29,6 +29,13 @@ class HyGNNConfig:
     epochs: int = 200
     patience: int = 30
     seed: int = 0
+    # Training-pipeline knobs (see core.trainer).  ``compiled`` records the
+    # epoch's op graph once as a replayable tape; ``batch_size`` streams the
+    # pair decoder in shuffled mini-batches against a once-per-epoch corpus
+    # encode (gradient accumulation — one optimizer step per epoch), which
+    # bounds decoder memory at O(batch) instead of O(all train pairs).
+    batch_size: int | None = None
+    compiled: bool = True
 
     def __post_init__(self):
         if self.method not in ("espf", "kmer"):
@@ -41,6 +48,9 @@ class HyGNNConfig:
             raise ValueError("dropout must be in [0, 1)")
         if self.epochs < 1:
             raise ValueError("epochs must be positive")
+        if self.batch_size is not None and self.batch_size < 1:
+            raise ValueError("batch_size must be positive (or None for "
+                             "full-batch training)")
 
     def with_updates(self, **kwargs) -> "HyGNNConfig":
         return replace(self, **kwargs)

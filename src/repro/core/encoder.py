@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hypergraph import Hypergraph
-from ..nn import Dropout, Module, Tensor, init
+from ..nn import Dropout, Module, Tape, Tensor, init
 from ..nn import functional as F
 from ..nn.functional import SegmentPartition
 from .attention import HyperedgeLevelAttention, NodeLevelAttention
@@ -183,6 +183,22 @@ class HyGNNEncoder(Module):
                             hypergraph.num_edges,
                             partitions=(hypergraph.node_partition,
                                         hypergraph.edge_partition))
+
+    def compile_encode(self, hypergraph: Hypergraph) -> Tape:
+        """Record the corpus encode as a replayable :class:`Tape`.
+
+        ``tape.root`` is the drug-embedding matrix; ``tape.forward()``
+        re-encodes under the current weights and ``tape.backward(grad)``
+        back-propagates an externally accumulated embedding gradient (the
+        mini-batch trainer's per-epoch encoder step) through all layers.
+
+        The tape freezes the train/eval mode in effect at record time: a
+        tape recorded while training keeps (re-sampling) its dropout nodes
+        on every replay regardless of a later ``eval()``.  Record in the
+        mode you intend to replay in — eval-mode encodes for serving, train
+        mode for optimization.
+        """
+        return Tape.record(lambda: self.encode_hypergraph(hypergraph))
 
     def substructure_attention(self, hypergraph: Hypergraph) -> np.ndarray:
         """Final-layer node-level attention X_ji per incidence entry.

@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..hypergraph import DrugHypergraphBuilder, Hypergraph
-from ..nn import Module, Tensor
+from ..nn import Module, Tape, Tensor, bce_with_logits
 from ..nn import functional as F
 from .config import HyGNNConfig
 from .decoder import make_decoder
@@ -63,6 +63,39 @@ class HyGNN(Module):
     def forward(self, hypergraph: Hypergraph, pairs: np.ndarray) -> Tensor:
         """Raw interaction logits for ``pairs`` (indices into hyperedges)."""
         return self.score_pairs(self.embed_drugs(hypergraph), pairs)
+
+    def compile_training(self, hypergraph: Hypergraph, pairs: np.ndarray,
+                         labels: np.ndarray) -> tuple[Tape, Tensor]:
+        """Record the full-batch training graph as a replayable tape.
+
+        One eager pass of encode → pair scoring → BCE (Eq. 13) is captured;
+        every subsequent epoch is ``tape.replay()`` — no re-tracing, no
+        re-allocation.  Valid because the hypergraph incidence (and with it
+        every segment partition) is static across epochs; only parameter
+        values change, and the tape's ops read those in place.
+
+        Returns ``(tape, embeddings)``: ``tape.root`` is the scalar loss and
+        ``embeddings`` is the encoder-output node *inside* the tape, whose
+        ``.data`` each ``tape.forward()`` refreshes — callers (the trainer's
+        validation pass, notably) can score extra pairs against it without a
+        second encode.
+
+        The tape freezes the train/eval mode in effect at record time
+        (dropout nodes recorded while training re-sample on every replay,
+        even after a later ``eval()``); record in the mode you will replay.
+        """
+        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        labels = np.asarray(labels, dtype=np.float64)
+        handles: dict[str, Tensor] = {}
+
+        def build() -> Tensor:
+            embeddings = self.embed_drugs(hypergraph)
+            handles["embeddings"] = embeddings
+            logits = self.score_pairs(embeddings, pairs)
+            return bce_with_logits(logits, labels)
+
+        tape = Tape.record(build)
+        return tape, handles["embeddings"]
 
     def predict_proba(self, hypergraph: Hypergraph,
                       pairs: np.ndarray) -> np.ndarray:

@@ -4,6 +4,31 @@ The encoder and decoder are optimised jointly with Adam on the binary
 cross-entropy loss of Eq. (13).  Early stopping monitors validation loss
 (paper: stop after 200 epochs without improvement); the best-validation
 weights are restored before returning.
+
+Three training pipelines share that loop:
+
+- **compiled full-batch** (default): the epoch graph — encode, pair scoring,
+  BCE — is recorded *once* as a :class:`repro.nn.Tape` and every epoch is a
+  tape replay plus an Adam step.  The hypergraph incidence is static across
+  epochs, so nothing about the graph ever changes except parameter values.
+  The validation loss is scored from the epoch's already-computed embedding
+  matrix through a second, decoder-only tape instead of re-encoding the
+  whole corpus; with ``dropout=0`` the loss trajectories and final weights
+  are *bitwise identical* to the eager path (with dropout the train
+  trajectory still matches bitwise, while validation becomes a cached,
+  training-mode estimate — the paper's eval-mode number is available via
+  :meth:`Trainer._loss`).
+- **compiled mini-batch** (``config.batch_size``): the corpus is encoded
+  once per epoch (encoder tape), then shuffled pair batches stream through
+  ``score_pairs`` against a detached embedding leaf.  Per-batch gradients
+  are scaled by batch weight and accumulated — into the decoder directly
+  and into the embedding leaf, which the encoder tape then back-propagates
+  in one pass — so the single Adam step per epoch applies exactly the
+  full-batch mean-BCE gradient (up to float summation order) while decoder
+  memory stays O(batch) instead of O(all train pairs).
+- **eager** (``compiled=False``): the original closure-graph loop, kept as
+  the reference implementation and the benchmark baseline
+  (``benchmarks/bench_training.py``).
 """
 
 from __future__ import annotations
@@ -15,7 +40,7 @@ import numpy as np
 from ..data.splits import Split
 from ..hypergraph import Hypergraph
 from ..metrics import EvaluationSummary
-from ..nn import Adam, bce_with_logits
+from ..nn import Adam, Tape, Tensor, bce_with_logits
 from .config import HyGNNConfig
 from .model import HyGNN
 
@@ -34,18 +59,62 @@ class TrainingHistory:
         return len(self.train_loss)
 
 
-class Trainer:
-    """Full-batch trainer for HyGNN models."""
+class _EarlyStopping:
+    """Shared best-val tracking so the compiled and eager loops cannot
+    diverge on selection semantics (the benchmark gates on their parity)."""
 
-    def __init__(self, model: HyGNN, config: HyGNNConfig | None = None):
+    def __init__(self, model: HyGNN, patience: int):
+        self.model = model
+        self.patience = patience
+        self.patience_left = patience
+        self.best_val = np.inf
+        self.best_state: dict | None = None
+
+    def update(self, epoch: int, val_loss: float,
+               history: TrainingHistory) -> bool:
+        """Record ``val_loss``; returns True when training should stop."""
+        history.val_loss.append(val_loss)
+        if val_loss < self.best_val - 1e-6:
+            self.best_val = val_loss
+            self.best_state = self.model.state_dict()
+            history.best_epoch = epoch
+            self.patience_left = self.patience
+            return False
+        self.patience_left -= 1
+        if self.patience_left <= 0:
+            history.stopped_early = True
+            return True
+        return False
+
+    def restore_best(self) -> None:
+        if self.best_state is not None:
+            self.model.load_state_dict(self.best_state)
+
+
+class Trainer:
+    """Compiled (tape-replay) trainer for HyGNN models.
+
+    ``compiled=False`` falls back to the eager closure-graph loop; the two
+    produce bitwise-identical training trajectories (see module docstring).
+    """
+
+    def __init__(self, model: HyGNN, config: HyGNNConfig | None = None,
+                 compiled: bool | None = None):
         self.model = model
         self.config = config or model.config
+        self.compiled = self.config.compiled if compiled is None else compiled
         self.optimizer = Adam(model.parameters(),
                               lr=self.config.learning_rate,
                               weight_decay=self.config.weight_decay)
 
     def _loss(self, hypergraph: Hypergraph, pairs: np.ndarray,
               labels: np.ndarray) -> float:
+        """Standalone eval-mode loss (full encode); used by external callers.
+
+        ``fit`` no longer calls this per epoch — the compiled pipeline scores
+        validation pairs from the epoch's cached embeddings instead of paying
+        a second corpus encode.
+        """
         was_training = self.model.training
         self.model.eval()
         try:
@@ -62,11 +131,110 @@ class Trainer:
         labels = np.asarray(labels, dtype=np.float64)
         train_pairs, train_labels = pairs[split.train], labels[split.train]
         val_pairs, val_labels = pairs[split.val], labels[split.val]
+        if self.compiled:
+            return self._fit_compiled(hypergraph, train_pairs, train_labels,
+                                      val_pairs, val_labels, verbose)
+        if self.config.batch_size is not None:
+            raise ValueError(
+                "batch_size requires the compiled pipeline; the eager "
+                "reference loop is full-batch only")
+        return self._fit_eager(hypergraph, train_pairs, train_labels,
+                               val_pairs, val_labels, verbose)
 
+    # ------------------------------------------------------------------
+    # Compiled pipeline: tape replay + cached-embedding validation
+    # ------------------------------------------------------------------
+    def _fit_compiled(self, hypergraph: Hypergraph, train_pairs: np.ndarray,
+                      train_labels: np.ndarray, val_pairs: np.ndarray,
+                      val_labels: np.ndarray, verbose: bool
+                      ) -> TrainingHistory:
+        config = self.config
         history = TrainingHistory()
-        best_val = np.inf
-        best_state: dict | None = None
-        patience_left = self.config.patience
+        stopper = _EarlyStopping(self.model, config.patience)
+
+        self.model.train()
+        batch_size = config.batch_size
+        if batch_size is None:
+            # Record the whole epoch graph (this is also epoch 0's forward).
+            tape, embeddings = self.model.compile_training(
+                hypergraph, train_pairs, train_labels)
+            batch_rng = emb_leaf = None
+        else:
+            tape = self.model.encoder.compile_encode(hypergraph)
+            embeddings = tape.root
+            emb_leaf = Tensor(embeddings.data, requires_grad=True)
+            batch_rng = np.random.default_rng(config.seed + 1)
+
+        # Validation scores pairs from the epoch's cached embeddings via a
+        # decoder-only tape — `val_leaf` is rebound to the fresh embedding
+        # matrix each epoch; no second corpus encode ever runs.
+        val_leaf = Tensor(embeddings.data, requires_grad=True)
+        val_tape = Tape.record(
+            lambda: bce_with_logits(
+                self.model.score_pairs(val_leaf, val_pairs), val_labels))
+
+        for epoch in range(config.epochs):
+            self.optimizer.zero_grad()
+            if batch_size is None:
+                train_loss = tape.root.item()
+                tape.backward()
+            else:
+                train_loss = self._minibatch_epoch(
+                    tape, emb_leaf, train_pairs, train_labels,
+                    batch_rng, batch_size)
+            self.optimizer.step()
+            history.train_loss.append(train_loss)
+
+            # The next epoch's forward doubles as the post-step embedding
+            # refresh the validation loss needs: one encode per epoch total
+            # (the eager loop pays two).
+            tape.forward()
+            val_loss = val_tape.forward({val_leaf: embeddings.data}).item()
+            if stopper.update(epoch, val_loss, history):
+                break
+            if verbose and epoch % 20 == 0:
+                print(f"epoch {epoch:4d}  train {train_loss:.4f}  "
+                      f"val {val_loss:.4f}")
+
+        stopper.restore_best()
+        self.model.eval()
+        return history
+
+    def _minibatch_epoch(self, encoder_tape: Tape, emb_leaf: Tensor,
+                         train_pairs: np.ndarray, train_labels: np.ndarray,
+                         batch_rng: np.random.Generator,
+                         batch_size: int) -> float:
+        """One gradient-accumulation epoch over shuffled pair batches.
+
+        Decoder batches score against a detached embedding leaf; each batch
+        loss back-propagates with weight ``len(batch)/n`` so the accumulated
+        gradients (decoder directly, encoder through one tape backward over
+        the summed embedding gradient) equal the full-batch mean-BCE
+        gradient exactly, up to float summation order.
+        """
+        emb_leaf.data = encoder_tape.root.data
+        emb_leaf.grad = None
+        n = len(train_pairs)
+        order = batch_rng.permutation(n)
+        total = 0.0
+        for start in range(0, n, batch_size):
+            chunk = order[start:start + batch_size]
+            logits = self.model.score_pairs(emb_leaf, train_pairs[chunk])
+            batch_loss = bce_with_logits(logits, train_labels[chunk])
+            batch_loss.backward(np.asarray(len(chunk) / n))
+            total += batch_loss.item() * len(chunk)
+        if emb_leaf.grad is not None:
+            encoder_tape.backward(grad=emb_leaf.grad)
+        return total / max(n, 1)
+
+    # ------------------------------------------------------------------
+    # Eager reference pipeline (the original closure-graph loop)
+    # ------------------------------------------------------------------
+    def _fit_eager(self, hypergraph: Hypergraph, train_pairs: np.ndarray,
+                   train_labels: np.ndarray, val_pairs: np.ndarray,
+                   val_labels: np.ndarray, verbose: bool) -> TrainingHistory:
+        history = TrainingHistory()
+        stopper = _EarlyStopping(self.model, self.config.patience)
 
         self.model.train()
         for epoch in range(self.config.epochs):
@@ -78,23 +246,13 @@ class Trainer:
             history.train_loss.append(loss.item())
 
             val_loss = self._loss(hypergraph, val_pairs, val_labels)
-            history.val_loss.append(val_loss)
-            if val_loss < best_val - 1e-6:
-                best_val = val_loss
-                best_state = self.model.state_dict()
-                history.best_epoch = epoch
-                patience_left = self.config.patience
-            else:
-                patience_left -= 1
-                if patience_left <= 0:
-                    history.stopped_early = True
-                    break
+            if stopper.update(epoch, val_loss, history):
+                break
             if verbose and epoch % 20 == 0:
                 print(f"epoch {epoch:4d}  train {loss.item():.4f}  "
                       f"val {val_loss:.4f}")
 
-        if best_state is not None:
-            self.model.load_state_dict(best_state)
+        stopper.restore_best()
         self.model.eval()
         return history
 

@@ -33,6 +33,7 @@ class RunProfile:
     repeats: int = 1               # the paper averages 5 random splits
     hygnn_epochs: int = 500
     hygnn_patience: int = 100
+    hygnn_batch_size: int | None = None  # None = full batch; else mini-batch
     baseline_epochs: int = 120
     caster_epochs: int = 200
     walk_num_walks: int = 6
@@ -41,7 +42,8 @@ class RunProfile:
 
     def hygnn_config(self, **overrides) -> HyGNNConfig:
         base = HyGNNConfig(epochs=self.hygnn_epochs,
-                           patience=self.hygnn_patience)
+                           patience=self.hygnn_patience,
+                           batch_size=self.hygnn_batch_size)
         return base.with_updates(**overrides) if overrides else base
 
     def baseline_config(self, seed: int | None = None) -> BaselineConfig:

@@ -18,7 +18,8 @@ KMER_SIZES = (3, 6, 9, 12, 15)
 def _sweep(method: str, parameters: tuple[int, ...],
            profile: RunProfile, datasets: tuple[str, ...] = ("TWOSIDES",
                                                              "DrugBank"),
-           decoders: tuple[str, ...] = ("mlp", "dot")) -> list[dict]:
+           decoders: tuple[str, ...] = ("mlp", "dot"),
+           batch_size: int | None = None) -> list[dict]:
     benchmark = load_benchmark(scale=profile.scale, seed=profile.seed)
     by_name = {"TWOSIDES": benchmark.twosides, "DrugBank": benchmark.drugbank}
     rows: list[dict] = []
@@ -31,6 +32,8 @@ def _sweep(method: str, parameters: tuple[int, ...],
                 config = profile.hygnn_config(method=method,
                                               parameter=parameter,
                                               decoder=decoder)
+                if batch_size is not None:
+                    config = config.with_updates(batch_size=batch_size)
                 _, _, _, summary = train_hygnn(dataset.smiles, pairs, labels,
                                                split, config)
                 rows.append({"dataset": dataset_name, "decoder": decoder,
@@ -41,9 +44,15 @@ def _sweep(method: str, parameters: tuple[int, ...],
 def run_fig2(profile: RunProfile = DEFAULT,
              thresholds: tuple[int, ...] = ESPF_THRESHOLDS,
              datasets: tuple[str, ...] = ("TWOSIDES", "DrugBank"),
-             decoders: tuple[str, ...] = ("mlp", "dot")) -> ExperimentResult:
-    """Fig. 2 — performance vs ESPF frequency threshold."""
-    rows = _sweep("espf", thresholds, profile, datasets, decoders)
+             decoders: tuple[str, ...] = ("mlp", "dot"),
+             batch_size: int | None = None) -> ExperimentResult:
+    """Fig. 2 — performance vs ESPF frequency threshold.
+
+    ``batch_size`` switches every training run to the mini-batch pipeline
+    (useful at ``full`` profile scale, where train pair sets are large).
+    """
+    rows = _sweep("espf", thresholds, profile, datasets, decoders,
+                  batch_size=batch_size)
     return ExperimentResult(
         experiment_id="fig2",
         title="Performance vs ESPF frequency threshold",
@@ -58,9 +67,11 @@ def run_fig2(profile: RunProfile = DEFAULT,
 def run_fig3(profile: RunProfile = DEFAULT,
              sizes: tuple[int, ...] = KMER_SIZES,
              datasets: tuple[str, ...] = ("TWOSIDES", "DrugBank"),
-             decoders: tuple[str, ...] = ("mlp", "dot")) -> ExperimentResult:
+             decoders: tuple[str, ...] = ("mlp", "dot"),
+             batch_size: int | None = None) -> ExperimentResult:
     """Fig. 3 — performance vs k-mer size."""
-    rows = _sweep("kmer", sizes, profile, datasets, decoders)
+    rows = _sweep("kmer", sizes, profile, datasets, decoders,
+                  batch_size=batch_size)
     return ExperimentResult(
         experiment_id="fig3",
         title="Performance vs k-mer size",

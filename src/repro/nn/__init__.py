@@ -3,7 +3,8 @@
 The original HyGNN implementation targets PyTorch; this package supplies the
 equivalent machinery on numpy so the whole reproduction runs offline:
 
-- :mod:`repro.nn.tensor` — reverse-mode autodiff tensors
+- :mod:`repro.nn.tensor` — reverse-mode autodiff tensors (registry-style ops)
+- :mod:`repro.nn.tape` — compiled, replayable op graphs (``Tape``)
 - :mod:`repro.nn.functional` — activations, segment ops, sparse matmul
 - :mod:`repro.nn.modules` — ``Module`` / ``Linear`` / ``Dropout`` / ``MLP``
 - :mod:`repro.nn.optim` — SGD / Adam
@@ -19,10 +20,11 @@ from .losses import bce, bce_with_logits, mse
 from .modules import (MLP, Dropout, Embedding, LeakyReLU, Linear, Module,
                       ReLU, Sequential)
 from .optim import SGD, Adam, Optimizer
+from .tape import Tape
 from .tensor import Tensor, ones, tensor, zeros
 
 __all__ = [
-    "Tensor", "tensor", "zeros", "ones",
+    "Tensor", "tensor", "zeros", "ones", "Tape",
     "functional", "init", "SegmentPartition",
     "Module", "Linear", "Dropout", "Embedding", "Sequential", "MLP",
     "ReLU", "LeakyReLU",

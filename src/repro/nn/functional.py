@@ -5,6 +5,12 @@ Beyond the usual activations this module provides the *segment* operations
 message passing tractable: hypergraph attention (HyGNN Eqs. 4-9) and graph
 attention (GAT) are both softmaxes over variable-sized neighbourhoods, which
 we flatten into (entry, segment-id) pairs and normalise per segment.
+
+Every op follows the registry contract of :func:`repro.nn.tensor.apply_op`:
+a ``forward(ctx, *arrays, out=None)`` / ``backward(ctx, out, *parents)``
+pair that reads current values at call time, so recorded nodes can be
+replayed by :class:`repro.nn.tape.Tape` with new leaf values and reused
+scratch buffers.
 """
 
 from __future__ import annotations
@@ -12,153 +18,215 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from .tensor import Tensor, unbroadcast
+from .tensor import (Tensor, apply_op, ctx_buffer, ctx_zeros, unbroadcast)
 
 
 # ---------------------------------------------------------------------------
 # Elementwise activations
 # ---------------------------------------------------------------------------
 
+def _relu_forward(ctx, x, out=None):
+    mask = np.greater(x, 0, out=ctx_buffer(ctx, "mask", x.shape, bool))
+    return np.multiply(x, mask, out=out)
+
+
+def _relu_backward(ctx, out, x):
+    return (np.multiply(out.grad, ctx["mask"],
+                        out=ctx_buffer(ctx, "ga", out.grad.shape)),)
+
+
 def relu(x: Tensor) -> Tensor:
-    mask = x.data > 0
-    out = Tensor._result(x.data * mask, (x,), "relu")
+    return apply_op("relu", (x,), _relu_forward, _relu_backward)
 
-    def backward() -> None:
-        x._accumulate(out.grad * mask)
 
-    out._backward = backward
-    return out
+def _leaky_relu_forward(ctx, x, out=None):
+    mask = np.greater(x, 0, out=ctx_buffer(ctx, "mask", x.shape, bool))
+    scale = ctx_buffer(ctx, "scale", x.shape, x.dtype)
+    np.copyto(scale, ctx["negative_slope"])
+    np.copyto(scale, 1.0, where=mask)
+    return np.multiply(x, scale, out=out)
+
+
+def _leaky_relu_backward(ctx, out, x):
+    return (np.multiply(out.grad, ctx["scale"],
+                        out=ctx_buffer(ctx, "ga", out.grad.shape)),)
 
 
 def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
     """LeakyReLU, the encoder-side activation the paper uses (Sec. IV-B)."""
-    mask = x.data > 0
-    scale = np.where(mask, 1.0, negative_slope)
-    out = Tensor._result(x.data * scale, (x,), "leaky_relu")
+    return apply_op("leaky_relu", (x,), _leaky_relu_forward,
+                    _leaky_relu_backward,
+                    ctx={"negative_slope": negative_slope})
 
-    def backward() -> None:
-        x._accumulate(out.grad * scale)
 
-    out._backward = backward
-    return out
+def stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable piecewise sigmoid on a raw numpy array.
+
+    Shared by the ``sigmoid`` op and the BCE-with-logits gradient; the
+    clips only silence overflow in the branch ``np.where`` discards, so
+    selected values are exact.
+    """
+    return np.where(z >= 0, 1.0 / (1.0 + np.exp(-np.clip(z, -500, None))),
+                    np.exp(np.clip(z, None, 500))
+                    / (1.0 + np.exp(np.clip(z, None, 500))))
+
+
+def _sigmoid_forward(ctx, x, out=None):
+    result = stable_sigmoid(x)
+    if out is not None:
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def _sigmoid_backward(ctx, out, x):
+    return (out.grad * out.data * (1.0 - out.data),)
 
 
 def sigmoid(x: Tensor) -> Tensor:
-    # Numerically stable piecewise form.
-    data = x.data
-    out_data = np.where(data >= 0, 1.0 / (1.0 + np.exp(-np.clip(data, -500, None))),
-                        np.exp(np.clip(data, None, 500))
-                        / (1.0 + np.exp(np.clip(data, None, 500))))
-    out = Tensor._result(out_data, (x,), "sigmoid")
+    return apply_op("sigmoid", (x,), _sigmoid_forward, _sigmoid_backward)
 
-    def backward() -> None:
-        x._accumulate(out.grad * out_data * (1.0 - out_data))
 
-    out._backward = backward
-    return out
+def _tanh_forward(ctx, x, out=None):
+    return np.tanh(x, out=out)
+
+
+def _tanh_backward(ctx, out, x):
+    return (out.grad * (1.0 - out.data ** 2),)
 
 
 def tanh(x: Tensor) -> Tensor:
-    out_data = np.tanh(x.data)
-    out = Tensor._result(out_data, (x,), "tanh")
+    return apply_op("tanh", (x,), _tanh_forward, _tanh_backward)
 
-    def backward() -> None:
-        x._accumulate(out.grad * (1.0 - out_data ** 2))
 
-    out._backward = backward
-    return out
+def _elu_forward(ctx, x, out=None):
+    alpha = ctx["alpha"]
+    mask = np.greater(x, 0, out=ctx_buffer(ctx, "mask", x.shape, bool))
+    exp_part = alpha * (np.exp(np.clip(x, None, 50)) - 1.0)
+    ctx["exp_part"] = exp_part
+    result = np.where(mask, x, exp_part)
+    if out is not None:
+        np.copyto(out, result)
+        return out
+    return result
+
+
+def _elu_backward(ctx, out, x):
+    alpha = ctx["alpha"]
+    return (out.grad * np.where(ctx["mask"], 1.0, ctx["exp_part"] + alpha),)
 
 
 def elu(x: Tensor, alpha: float = 1.0) -> Tensor:
-    mask = x.data > 0
-    exp_part = alpha * (np.exp(np.clip(x.data, None, 50)) - 1.0)
-    out_data = np.where(mask, x.data, exp_part)
-    out = Tensor._result(out_data, (x,), "elu")
+    return apply_op("elu", (x,), _elu_forward, _elu_backward,
+                    ctx={"alpha": alpha})
 
-    def backward() -> None:
-        x._accumulate(out.grad * np.where(mask, 1.0, exp_part + alpha))
 
-    out._backward = backward
-    return out
+def _softmax_forward(ctx, x, out=None):
+    axis = ctx["axis"]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exps = np.exp(shifted)
+    return np.divide(exps, exps.sum(axis=axis, keepdims=True), out=out)
+
+
+def _softmax_backward(ctx, out, x):
+    axis = ctx["axis"]
+    dot = (out.grad * out.data).sum(axis=axis, keepdims=True)
+    return (out.data * (out.grad - dot),)
 
 
 def softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    exps = np.exp(shifted)
-    out_data = exps / exps.sum(axis=axis, keepdims=True)
-    out = Tensor._result(out_data, (x,), "softmax")
+    return apply_op("softmax", (x,), _softmax_forward, _softmax_backward,
+                    ctx={"axis": axis})
 
-    def backward() -> None:
-        dot = (out.grad * out_data).sum(axis=axis, keepdims=True)
-        x._accumulate(out_data * (out.grad - dot))
 
-    out._backward = backward
-    return out
+def _log_softmax_forward(ctx, x, out=None):
+    axis = ctx["axis"]
+    shifted = x - x.max(axis=axis, keepdims=True)
+    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+    return np.subtract(shifted, log_z, out=out)
+
+
+def _log_softmax_backward(ctx, out, x):
+    axis = ctx["axis"]
+    soft = np.exp(out.data)
+    return (out.grad - soft * out.grad.sum(axis=axis, keepdims=True),)
 
 
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
-    shifted = x.data - x.data.max(axis=axis, keepdims=True)
-    log_z = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
-    out_data = shifted - log_z
-    out = Tensor._result(out_data, (x,), "log_softmax")
-    soft = np.exp(out_data)
-
-    def backward() -> None:
-        x._accumulate(out.grad - soft * out.grad.sum(axis=axis, keepdims=True))
-
-    out._backward = backward
-    return out
+    return apply_op("log_softmax", (x,), _log_softmax_forward,
+                    _log_softmax_backward, ctx={"axis": axis})
 
 
 # ---------------------------------------------------------------------------
 # Structural ops
 # ---------------------------------------------------------------------------
 
+def _concat_forward(ctx, *datas, out=None):
+    return np.concatenate(datas, axis=ctx["axis"], out=out)
+
+
+def _concat_backward(ctx, out, *parents):
+    axis = ctx["axis"]
+    offsets = ctx["offsets"]
+    grads = []
+    for parent, start, stop in zip(parents, offsets[:-1], offsets[1:]):
+        if parent.requires_grad:
+            index = [slice(None)] * out.grad.ndim
+            index[axis] = slice(start, stop)
+            grads.append(out.grad[tuple(index)])
+        else:
+            grads.append(None)
+    return grads
+
+
 def concat(tensors: list[Tensor], axis: int = -1) -> Tensor:
-    datas = [t.data for t in tensors]
-    out = Tensor._result(np.concatenate(datas, axis=axis), tuple(tensors), "concat")
-    sizes = [d.shape[axis] for d in datas]
+    sizes = [t.data.shape[axis] for t in tensors]
     offsets = np.cumsum([0] + sizes)
+    return apply_op("concat", tuple(tensors), _concat_forward,
+                    _concat_backward, ctx={"axis": axis, "offsets": offsets})
 
-    def backward() -> None:
-        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
-            if t.requires_grad:
-                index = [slice(None)] * out.grad.ndim
-                index[axis] = slice(start, stop)
-                t._accumulate(out.grad[tuple(index)])
 
-    out._backward = backward
-    return out
+def _gather_rows_forward(ctx, x, out=None):
+    return np.take(x, ctx["indices"], axis=0, out=out)
+
+
+def _gather_rows_backward(ctx, out, x):
+    grad = ctx_zeros(ctx, "ga", x.data.shape, x.data.dtype)
+    np.add.at(grad, ctx["indices"], out.grad)
+    return (grad,)
 
 
 def gather_rows(x: Tensor, indices: np.ndarray) -> Tensor:
     """Select rows ``x[indices]`` with gradient scattered back by ``add.at``."""
     indices = np.asarray(indices, dtype=np.int64)
-    out = Tensor._result(x.data[indices], (x,), "gather_rows")
+    return apply_op("gather_rows", (x,), _gather_rows_forward,
+                    _gather_rows_backward, ctx={"indices": indices})
 
-    def backward() -> None:
-        grad = np.zeros_like(x.data)
-        np.add.at(grad, indices, out.grad)
-        x._accumulate(grad)
 
-    out._backward = backward
-    return out
+def _dropout_forward(ctx, x, out=None):
+    mask = (ctx["rng"].random(x.shape) >= ctx["p"]) / (1.0 - ctx["p"])
+    ctx["mask"] = mask
+    return np.multiply(x, mask, out=out)
+
+
+def _dropout_backward(ctx, out, x):
+    return (np.multiply(out.grad, ctx["mask"],
+                        out=ctx_buffer(ctx, "ga", out.grad.shape)),)
 
 
 def dropout(x: Tensor, p: float, training: bool, rng: np.random.Generator) -> Tensor:
-    """Inverted dropout; identity when not training or ``p == 0``."""
+    """Inverted dropout; identity when not training or ``p == 0``.
+
+    The mask is drawn inside the op's forward function, so a taped dropout
+    node resamples a fresh mask from the *same* generator stream on every
+    replay — epoch-by-epoch masks match the eager loop's exactly.
+    """
     if not training or p <= 0.0:
         return x
     if not 0.0 <= p < 1.0:
         raise ValueError(f"dropout probability must be in [0, 1), got {p}")
-    mask = (rng.random(x.shape) >= p) / (1.0 - p)
-    out = Tensor._result(x.data * mask, (x,), "dropout")
-
-    def backward() -> None:
-        x._accumulate(out.grad * mask)
-
-    out._backward = backward
-    return out
+    return apply_op("dropout", (x,), _dropout_forward, _dropout_backward,
+                    ctx={"p": p, "rng": rng})
 
 
 # ---------------------------------------------------------------------------
@@ -235,6 +303,24 @@ def _check_partition(partition: SegmentPartition | None,
         raise ValueError("partition does not match segment_ids/num_segments")
 
 
+def _segment_sum_forward(ctx, x, out=None):
+    partition: SegmentPartition | None = ctx["partition"]
+    num_segments = ctx["num_segments"]
+    if out is None:
+        out = np.zeros((num_segments,) + x.shape[1:], dtype=x.dtype)
+    else:
+        out.fill(0)
+    if partition is not None:
+        return partition.reduce(x, out=out)
+    np.add.at(out, ctx["segment_ids"], x)
+    return out
+
+
+def _segment_sum_backward(ctx, out, x):
+    return (np.take(out.grad, ctx["segment_ids"], axis=0,
+                    out=ctx_buffer(ctx, "ga", x.data.shape, x.data.dtype)),)
+
+
 def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int,
                 partition: SegmentPartition | None = None) -> Tensor:
     """Sum rows of ``x`` into ``num_segments`` buckets given per-row ids.
@@ -245,19 +331,11 @@ def segment_sum(x: Tensor, segment_ids: np.ndarray, num_segments: int,
     """
     segment_ids = _check_segments(segment_ids, num_segments)
     _check_partition(partition, segment_ids, num_segments)
-    if partition is not None:
-        out_data = partition.reduce(x.data)
-    else:
-        out_shape = (num_segments,) + x.shape[1:]
-        out_data = np.zeros(out_shape, dtype=x.data.dtype)
-        np.add.at(out_data, segment_ids, x.data)
-    out = Tensor._result(out_data, (x,), "segment_sum")
-
-    def backward() -> None:
-        x._accumulate(out.grad[segment_ids])
-
-    out._backward = backward
-    return out
+    return apply_op("segment_sum", (x,), _segment_sum_forward,
+                    _segment_sum_backward,
+                    ctx={"segment_ids": segment_ids,
+                         "num_segments": num_segments,
+                         "partition": partition})
 
 
 def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
@@ -274,6 +352,44 @@ def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
     return summed * Tensor(scale)
 
 
+def _segment_softmax_forward(ctx, scores, out=None):
+    partition: SegmentPartition | None = ctx["partition"]
+    segment_ids = ctx["segment_ids"]
+    num_segments = ctx["num_segments"]
+    # Per-segment max for numerical stability.
+    seg_max = ctx_buffer(ctx, "seg_max", (num_segments,), scores.dtype)
+    seg_max.fill(-np.inf)
+    if partition is not None:
+        partition.reduce(scores, ufunc=np.maximum, out=seg_max)
+    else:
+        np.maximum.at(seg_max, segment_ids, scores)
+    per_entry = ctx_buffer(ctx, "per_entry", scores.shape, scores.dtype)
+    np.take(seg_max, segment_ids, out=per_entry)
+    shifted = np.subtract(scores, per_entry, out=per_entry)
+    exps = np.exp(shifted, out=shifted)
+    seg_sum = ctx_zeros(ctx, "seg_sum", (num_segments,), scores.dtype)
+    if partition is not None:
+        partition.reduce(exps, out=seg_sum)
+    else:
+        np.add.at(seg_sum, segment_ids, exps)
+    return np.divide(exps, seg_sum[segment_ids], out=out)
+
+
+def _segment_softmax_backward(ctx, out, scores):
+    partition: SegmentPartition | None = ctx["partition"]
+    segment_ids = ctx["segment_ids"]
+    num_segments = ctx["num_segments"]
+    weighted = np.multiply(out.grad, out.data,
+                           out=ctx_buffer(ctx, "weighted", out.data.shape,
+                                          out.data.dtype))
+    seg_dot = ctx_zeros(ctx, "seg_dot", (num_segments,), out.data.dtype)
+    if partition is not None:
+        partition.reduce(weighted, out=seg_dot)
+    else:
+        np.add.at(seg_dot, segment_ids, weighted)
+    return (weighted - out.data * seg_dot[segment_ids],)
+
+
 def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int,
                     partition: SegmentPartition | None = None) -> Tensor:
     """Softmax of ``scores`` normalised independently within each segment.
@@ -284,67 +400,50 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int,
     """
     segment_ids = _check_segments(segment_ids, num_segments)
     _check_partition(partition, segment_ids, num_segments)
-    data = scores.data
-    if data.ndim != 1:
+    if scores.data.ndim != 1:
         raise ValueError("segment_softmax expects 1-D scores")
-    # Per-segment max for numerical stability.
-    if partition is not None:
-        seg_max = partition.reduce(
-            data, ufunc=np.maximum,
-            out=np.full(num_segments, -np.inf, dtype=data.dtype))
-    else:
-        seg_max = np.full(num_segments, -np.inf, dtype=data.dtype)
-        np.maximum.at(seg_max, segment_ids, data)
-    shifted = data - seg_max[segment_ids]
-    exps = np.exp(shifted)
-    if partition is not None:
-        seg_sum = partition.reduce(exps)
-    else:
-        seg_sum = np.zeros(num_segments, dtype=data.dtype)
-        np.add.at(seg_sum, segment_ids, exps)
-    out_data = exps / seg_sum[segment_ids]
-    out = Tensor._result(out_data, (scores,), "segment_softmax")
+    return apply_op("segment_softmax", (scores,), _segment_softmax_forward,
+                    _segment_softmax_backward,
+                    ctx={"segment_ids": segment_ids,
+                         "num_segments": num_segments,
+                         "partition": partition})
 
-    def backward() -> None:
-        weighted = out.grad * out_data
-        if partition is not None:
-            seg_dot = partition.reduce(weighted)
-        else:
-            seg_dot = np.zeros(num_segments, dtype=data.dtype)
-            np.add.at(seg_dot, segment_ids, weighted)
-        scores._accumulate(weighted - out_data * seg_dot[segment_ids])
 
-    out._backward = backward
-    return out
+def _sparse_matmul_forward(ctx, x, out=None):
+    return ctx["csr"] @ x
+
+
+def _sparse_matmul_backward(ctx, out, x):
+    return (ctx["csr"].T @ out.grad,)
 
 
 def sparse_matmul(matrix: sp.spmatrix, x: Tensor) -> Tensor:
     """Multiply a constant scipy sparse matrix with a dense tensor.
 
     The sparse structure carries no gradient (it encodes graph topology); the
-    gradient w.r.t. ``x`` is ``matrix.T @ grad``.
+    gradient w.r.t. ``x`` is ``matrix.T @ grad`` (``.T`` is an O(1) CSC view,
+    so it is taken per backward call rather than materialised up front).
     """
-    csr = matrix.tocsr()
-    out = Tensor._result(csr @ x.data, (x,), "sparse_matmul")
-
-    def backward() -> None:
-        x._accumulate(csr.T @ out.grad)
-
-    out._backward = backward
-    return out
+    return apply_op("sparse_matmul", (x,), _sparse_matmul_forward,
+                    _sparse_matmul_backward, ctx={"csr": matrix.tocsr()})
 
 
 # ---------------------------------------------------------------------------
 # Losses-adjacent helpers
 # ---------------------------------------------------------------------------
 
+def _clip_forward(ctx, x, out=None):
+    low, high = ctx["low"], ctx["high"]
+    mask = np.logical_and(x > low, x < high,
+                          out=ctx_buffer(ctx, "mask", x.shape, bool))
+    return np.clip(x, low, high, out=out)
+
+
+def _clip_backward(ctx, out, x):
+    return (out.grad * ctx["mask"],)
+
+
 def clip(x: Tensor, low: float, high: float) -> Tensor:
     """Clamp values; gradient is passed through only inside the interval."""
-    mask = (x.data > low) & (x.data < high)
-    out = Tensor._result(np.clip(x.data, low, high), (x,), "clip")
-
-    def backward() -> None:
-        x._accumulate(out.grad * mask)
-
-    out._backward = backward
-    return out
+    return apply_op("clip", (x,), _clip_forward, _clip_backward,
+                    ctx={"low": low, "high": high})

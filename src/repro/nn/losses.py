@@ -2,14 +2,30 @@
 
 The paper trains HyGNN end-to-end with binary cross-entropy (Eq. 13); we
 provide the numerically stable logits formulation plus MSE for the CASTER
-reconstruction term.
+reconstruction term.  Losses follow the same replayable op contract as the
+rest of the substrate (see :func:`repro.nn.tensor.apply_op`), so a recorded
+training graph can re-evaluate its loss every epoch without re-tracing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from .tensor import Tensor
+from .functional import stable_sigmoid
+from .tensor import Tensor, apply_op
+
+
+def _bce_with_logits_forward(ctx, z, out=None):
+    targets = ctx["targets"]
+    loss = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
+    return np.asarray(loss.mean())
+
+
+def _bce_with_logits_backward(ctx, out, logits):
+    z = logits.data
+    targets = ctx["targets"]
+    n = max(z.size, 1)
+    return (out.grad * (stable_sigmoid(z) - targets) / n,)
 
 
 def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
@@ -21,36 +37,31 @@ def bce_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
     targets = np.asarray(targets, dtype=logits.data.dtype)
     if targets.shape != logits.shape:
         raise ValueError(f"targets shape {targets.shape} != logits shape {logits.shape}")
-    z = logits.data
-    loss_data = np.maximum(z, 0.0) - z * targets + np.log1p(np.exp(-np.abs(z)))
-    out = Tensor._result(np.array(loss_data.mean()), (logits,), "bce_with_logits")
-    n = max(z.size, 1)
+    return apply_op("bce_with_logits", (logits,), _bce_with_logits_forward,
+                    _bce_with_logits_backward, ctx={"targets": targets})
 
-    def backward() -> None:
-        sig = np.where(z >= 0, 1.0 / (1.0 + np.exp(-z)),
-                       np.exp(z) / (1.0 + np.exp(z)))
-        logits._accumulate(out.grad * (sig - targets) / n)
 
-    out._backward = backward
-    return out
+def _bce_forward(ctx, p, out=None):
+    targets, eps = ctx["targets"], ctx["eps"]
+    clipped = np.clip(p, eps, 1.0 - eps)
+    ctx["clipped"] = clipped
+    ctx["inside"] = (p > eps) & (p < 1.0 - eps)
+    loss = -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
+    return np.asarray(loss.mean())
+
+
+def _bce_backward(ctx, out, probabilities):
+    targets, clipped = ctx["targets"], ctx["clipped"]
+    n = max(probabilities.data.size, 1)
+    grad = (clipped - targets) / (clipped * (1.0 - clipped)) / n
+    return (out.grad * grad * ctx["inside"],)
 
 
 def bce(probabilities: Tensor, targets: np.ndarray, eps: float = 1e-12) -> Tensor:
     """Cross-entropy on probabilities already in (0, 1)."""
     targets = np.asarray(targets, dtype=probabilities.data.dtype)
-    p = probabilities.data
-    clipped = np.clip(p, eps, 1.0 - eps)
-    loss_data = -(targets * np.log(clipped) + (1.0 - targets) * np.log(1.0 - clipped))
-    out = Tensor._result(np.array(loss_data.mean()), (probabilities,), "bce")
-    n = max(p.size, 1)
-    inside = (p > eps) & (p < 1.0 - eps)
-
-    def backward() -> None:
-        grad = (clipped - targets) / (clipped * (1.0 - clipped)) / n
-        probabilities._accumulate(out.grad * grad * inside)
-
-    out._backward = backward
-    return out
+    return apply_op("bce", (probabilities,), _bce_forward, _bce_backward,
+                    ctx={"targets": targets, "eps": eps})
 
 
 def mse(predictions: Tensor, targets: np.ndarray) -> Tensor:

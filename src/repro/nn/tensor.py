@@ -8,10 +8,24 @@ the models lives either here (operator overloads) or in
 :mod:`repro.nn.functional`, and each is validated against finite differences
 in the test suite.
 
-The design follows the classic tape-free closure style: each :class:`Tensor`
-produced by an operation records its parent tensors and a ``_backward``
-closure that accumulates gradients into the parents.  ``Tensor.backward``
-topologically sorts the graph and runs the closures in reverse order.
+Ops are *registry-style*: each operation is a pair of module-level
+``forward(ctx, *parent_arrays, out=None)`` / ``backward(ctx, out, *parents)``
+functions glued together by :func:`apply_op`.  The eager path wraps the
+backward function in a per-tensor ``_backward`` closure (the classic
+micrograd contract, preserved for external callers that attach closures by
+hand), but because the functions read the *current* tensor data and a
+mutable ``ctx`` at call time — never values frozen at trace time — the same
+node can be re-executed later with new leaf values.  That is what
+:class:`repro.nn.tape.Tape` exploits: it records one forward pass and then
+replays forward+backward every epoch without re-tracing, re-allocating, or
+re-sorting the graph.
+
+``ctx`` doubles as a scratch-buffer cache: ops that need large temporaries
+(scatter targets, broadcast products) allocate them once via
+:func:`ctx_buffer` and reuse them on every replay.  In eager mode each call
+gets a fresh ``ctx``, so eager numerics and allocation behaviour are exactly
+the classic ones; under a tape the buffers persist and the hot loop stops
+paying allocation and page-zeroing costs.
 """
 
 from __future__ import annotations
@@ -21,6 +35,10 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 
 DEFAULT_DTYPE = np.float64
+
+# Stack of actively recording tapes (see repro.nn.tape).  apply_op notifies
+# the innermost tape of every differentiable node it creates.
+_TAPE_STACK: list = []
 
 
 def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:
@@ -49,6 +67,22 @@ def unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
     if axes:
         grad = grad.sum(axis=axes, keepdims=True)
     return grad.reshape(shape)
+
+
+def ctx_buffer(ctx: dict, key: str, shape: tuple, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """A persistent scratch array stored in ``ctx`` (uninitialised contents)."""
+    buf = ctx.get(key)
+    if buf is None or buf.shape != shape or buf.dtype != dtype:
+        buf = np.empty(shape, dtype=dtype)
+        ctx[key] = buf
+    return buf
+
+
+def ctx_zeros(ctx: dict, key: str, shape: tuple, dtype=DEFAULT_DTYPE) -> np.ndarray:
+    """Like :func:`ctx_buffer` but zero-filled on every call."""
+    buf = ctx_buffer(ctx, key, shape, dtype)
+    buf.fill(0)
+    return buf
 
 
 class Tensor:
@@ -96,7 +130,11 @@ class Tensor:
         return f"Tensor(shape={self.shape}{flag}, op={self.op or 'leaf'})"
 
     def item(self) -> float:
-        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+        if self.data.size != 1:
+            raise ValueError(
+                f"item() requires a single-element tensor, got shape "
+                f"{self.data.shape}")
+        return float(self.data.reshape(-1)[0])
 
     def numpy(self) -> np.ndarray:
         """Return the underlying array (no copy); detached from the graph."""
@@ -129,29 +167,7 @@ class Tensor:
             if grad.shape != self.data.shape:
                 raise ValueError(f"gradient shape {grad.shape} != tensor shape {self.data.shape}")
 
-        order: list[Tensor] = []
-        visited: set[int] = set()
-
-        def visit(node: Tensor) -> None:
-            # Iterative DFS to avoid recursion limits on deep graphs.
-            stack = [(node, iter(node._parents))]
-            if id(node) in visited:
-                return
-            visited.add(id(node))
-            while stack:
-                current, parents = stack[-1]
-                advanced = False
-                for parent in parents:
-                    if id(parent) not in visited:
-                        visited.add(id(parent))
-                        stack.append((parent, iter(parent._parents)))
-                        advanced = True
-                        break
-                if not advanced:
-                    order.append(current)
-                    stack.pop()
-
-        visit(self)
+        order = topological_order(self)
         self._accumulate(grad)
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
@@ -173,27 +189,12 @@ class Tensor:
     # ------------------------------------------------------------------
     def __add__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._result(self.data + other.data, (self, other), "add")
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(out.grad, other.shape))
-
-        out._backward = backward
-        return out
+        return apply_op("add", (self, other), _add_forward, _add_backward)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        out = Tensor._result(-self.data, (self,), "neg")
-
-        def backward() -> None:
-            self._accumulate(-out.grad)
-
-        out._backward = backward
-        return out
+        return apply_op("neg", (self,), _neg_forward, _neg_backward)
 
     def __sub__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
@@ -204,32 +205,13 @@ class Tensor:
 
     def __mul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._result(self.data * other.data, (self, other), "mul")
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad * other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(unbroadcast(out.grad * self.data, other.shape))
-
-        out._backward = backward
-        return out
+        return apply_op("mul", (self, other), _mul_forward, _mul_backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._result(self.data / other.data, (self, other), "div")
-
-        def backward() -> None:
-            if self.requires_grad:
-                self._accumulate(unbroadcast(out.grad / other.data, self.shape))
-            if other.requires_grad:
-                other._accumulate(
-                    unbroadcast(-out.grad * self.data / (other.data ** 2), other.shape))
-
-        out._backward = backward
-        return out
+        return apply_op("div", (self, other), _div_forward, _div_backward)
 
     def __rtruediv__(self, other) -> "Tensor":
         return Tensor(other) / self
@@ -237,44 +219,13 @@ class Tensor:
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
-        out = Tensor._result(self.data ** exponent, (self,), "pow")
-
-        def backward() -> None:
-            self._accumulate(out.grad * exponent * self.data ** (exponent - 1))
-
-        out._backward = backward
-        return out
+        return apply_op("pow", (self,), _pow_forward, _pow_backward,
+                        ctx={"exponent": float(exponent)})
 
     def __matmul__(self, other) -> "Tensor":
         other = other if isinstance(other, Tensor) else Tensor(other)
-        out = Tensor._result(self.data @ other.data, (self, other), "matmul")
-        a_ndim, b_ndim = self.data.ndim, other.data.ndim
-
-        def backward() -> None:
-            grad = out.grad
-            if self.requires_grad:
-                if b_ndim == 1 and a_ndim == 1:        # (m,) @ (m,) -> scalar
-                    grad_a = grad * other.data
-                elif b_ndim == 1:                      # (n,m) @ (m,) -> (n,)
-                    grad_a = np.outer(grad, other.data)
-                elif a_ndim == 1:                      # (m,) @ (m,p) -> (p,)
-                    grad_a = other.data @ grad
-                else:                                  # (..,n,m) @ (..,m,p)
-                    grad_a = grad @ other.data.swapaxes(-1, -2)
-                self._accumulate(unbroadcast(grad_a, self.shape))
-            if other.requires_grad:
-                if a_ndim == 1 and b_ndim == 1:
-                    grad_b = grad * self.data
-                elif a_ndim == 1:                      # (m,) @ (m,p) -> (p,)
-                    grad_b = np.outer(self.data, grad)
-                elif b_ndim == 1:                      # (n,m) @ (m,) -> (n,)
-                    grad_b = self.data.T @ grad
-                else:
-                    grad_b = self.data.swapaxes(-1, -2) @ grad
-                other._accumulate(unbroadcast(grad_b, other.shape))
-
-        out._backward = backward
-        return out
+        return apply_op("matmul", (self, other), _matmul_forward,
+                        _matmul_backward)
 
     # ------------------------------------------------------------------
     # Shape manipulation
@@ -282,49 +233,25 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        out = Tensor._result(self.data.reshape(shape), (self,), "reshape")
-
-        def backward() -> None:
-            self._accumulate(out.grad.reshape(self.shape))
-
-        out._backward = backward
-        return out
+        return apply_op("reshape", (self,), _reshape_forward,
+                        _reshape_backward, ctx={"shape": shape})
 
     def transpose(self, axes: tuple | None = None) -> "Tensor":
-        out = Tensor._result(self.data.transpose(axes), (self,), "transpose")
         inverse = None if axes is None else tuple(np.argsort(axes))
-
-        def backward() -> None:
-            self._accumulate(out.grad.transpose(inverse))
-
-        out._backward = backward
-        return out
+        return apply_op("transpose", (self,), _transpose_forward,
+                        _transpose_backward,
+                        ctx={"axes": axes, "inverse": inverse})
 
     def __getitem__(self, index) -> "Tensor":
-        out = Tensor._result(self.data[index], (self,), "getitem")
-
-        def backward() -> None:
-            grad = np.zeros_like(self.data)
-            np.add.at(grad, index, out.grad)
-            self._accumulate(grad)
-
-        out._backward = backward
-        return out
+        return apply_op("getitem", (self,), _getitem_forward,
+                        _getitem_backward, ctx={"index": index})
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out = Tensor._result(self.data.sum(axis=axis, keepdims=keepdims), (self,), "sum")
-
-        def backward() -> None:
-            grad = out.grad
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-            self._accumulate(np.broadcast_to(grad, self.shape).copy())
-
-        out._backward = backward
-        return out
+        return apply_op("sum", (self,), _sum_forward, _sum_backward,
+                        ctx={"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         count = self.data.size if axis is None else np.prod(
@@ -332,43 +259,247 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / float(count))
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
-        out = Tensor._result(out_data, (self,), "max")
-
-        def backward() -> None:
-            grad = out.grad
-            expanded = out_data
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis)
-                expanded = np.expand_dims(out_data, axis)
-            mask = (self.data == expanded)
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * grad / counts)
-
-        out._backward = backward
-        return out
+        return apply_op("max", (self,), _max_forward, _max_backward,
+                        ctx={"axis": axis, "keepdims": keepdims})
 
     # ------------------------------------------------------------------
     # Elementwise nonlinearities (also exposed in functional)
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-        out = Tensor._result(out_data, (self,), "exp")
-
-        def backward() -> None:
-            self._accumulate(out.grad * out_data)
-
-        out._backward = backward
-        return out
+        return apply_op("exp", (self,), _exp_forward, _exp_backward)
 
     def log(self) -> "Tensor":
-        out = Tensor._result(np.log(self.data), (self,), "log")
+        return apply_op("log", (self,), _log_forward, _log_backward)
+
+
+def topological_order(root: Tensor) -> list[Tensor]:
+    """Ancestors of ``root`` in topological order (root last).
+
+    Iterative DFS so deep graphs never hit the recursion limit.  Both
+    :meth:`Tensor.backward` and tape replay use this one function, so the
+    two paths execute backward closures — and therefore accumulate floating
+    point gradients — in exactly the same order.
+    """
+    order: list[Tensor] = []
+    visited: set[int] = {id(root)}
+    stack: list[tuple[Tensor, Iterable[Tensor]]] = [(root, iter(root._parents))]
+    while stack:
+        current, parents = stack[-1]
+        advanced = False
+        for parent in parents:
+            if id(parent) not in visited:
+                visited.add(id(parent))
+                stack.append((parent, iter(parent._parents)))
+                advanced = True
+                break
+        if not advanced:
+            order.append(current)
+            stack.pop()
+    return order
+
+
+def apply_op(op: str, parents: Sequence[Tensor],
+             forward_fn: Callable, backward_fn: Callable,
+             ctx: dict | None = None) -> Tensor:
+    """Create the output tensor of one differentiable operation.
+
+    ``forward_fn(ctx, *parent_arrays, out=None)`` computes the result (using
+    ``out`` as a destination buffer when it can); ``backward_fn(ctx, out,
+    *parents)`` returns one gradient array (or ``None``) per parent, reading
+    the *current* ``out.data`` / ``out.grad`` / ``parent.data`` so the node
+    stays valid when a tape re-executes it with new leaf values.
+    """
+    ctx = {} if ctx is None else ctx
+    out_data = forward_fn(ctx, *[p.data for p in parents])
+    requires = any(p.requires_grad for p in parents)
+    out = Tensor(out_data, requires_grad=requires,
+                 _parents=parents if requires else (), op=op)
+    if requires:
+        parents = tuple(parents)
 
         def backward() -> None:
-            self._accumulate(out.grad / self.data)
+            grads = backward_fn(ctx, out, *parents)
+            for parent, grad in zip(parents, grads):
+                if grad is not None:
+                    parent._accumulate(grad)
 
         out._backward = backward
-        return out
+        if _TAPE_STACK:
+            _TAPE_STACK[-1]._note(out, parents, forward_fn, ctx)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Op implementations (forward/backward pairs keyed by op via apply_op)
+# ---------------------------------------------------------------------------
+
+def _add_forward(ctx, a, b, out=None):
+    return np.add(a, b, out=out)
+
+
+def _add_backward(ctx, out, a, b):
+    grad = out.grad
+    ga = unbroadcast(grad, a.data.shape) if a.requires_grad else None
+    gb = unbroadcast(grad, b.data.shape) if b.requires_grad else None
+    return ga, gb
+
+
+def _neg_forward(ctx, a, out=None):
+    return np.negative(a, out=out)
+
+
+def _neg_backward(ctx, out, a):
+    return (np.negative(out.grad, out=ctx_buffer(ctx, "ga", out.grad.shape)),)
+
+
+def _mul_forward(ctx, a, b, out=None):
+    return np.multiply(a, b, out=out)
+
+
+def _mul_backward(ctx, out, a, b):
+    grad = out.grad
+    ga = gb = None
+    if a.requires_grad:
+        prod = np.multiply(grad, b.data, out=ctx_buffer(ctx, "ga", grad.shape))
+        ga = unbroadcast(prod, a.data.shape)
+    if b.requires_grad:
+        prod = np.multiply(grad, a.data, out=ctx_buffer(ctx, "gb", grad.shape))
+        gb = unbroadcast(prod, b.data.shape)
+    return ga, gb
+
+
+def _div_forward(ctx, a, b, out=None):
+    return np.divide(a, b, out=out)
+
+
+def _div_backward(ctx, out, a, b):
+    grad = out.grad
+    ga = gb = None
+    if a.requires_grad:
+        ga = unbroadcast(grad / b.data, a.data.shape)
+    if b.requires_grad:
+        gb = unbroadcast(-grad * a.data / (b.data ** 2), b.data.shape)
+    return ga, gb
+
+
+def _pow_forward(ctx, a, out=None):
+    return np.power(a, ctx["exponent"], out=out)
+
+
+def _pow_backward(ctx, out, a):
+    exponent = ctx["exponent"]
+    return (out.grad * exponent * a.data ** (exponent - 1),)
+
+
+def _matmul_forward(ctx, a, b, out=None):
+    if out is not None and out.ndim == 0:
+        out = None  # np.matmul cannot write scalar results in place
+    return np.matmul(a, b, out=out)
+
+
+def _matmul_backward(ctx, out, a, b):
+    grad = out.grad
+    a_data, b_data = a.data, b.data
+    a_ndim, b_ndim = a_data.ndim, b_data.ndim
+    ga = gb = None
+    if a.requires_grad:
+        if b_ndim == 1 and a_ndim == 1:            # (m,) @ (m,) -> scalar
+            grad_a = grad * b_data
+        elif b_ndim == 1:                          # (n,m) @ (m,) -> (n,)
+            grad_a = np.outer(grad, b_data)
+        elif a_ndim == 1:                          # (m,) @ (m,p) -> (p,)
+            grad_a = b_data @ grad
+        else:                                      # (..,n,m) @ (..,m,p)
+            grad_a = np.matmul(grad, b_data.swapaxes(-1, -2),
+                               out=ctx_buffer(ctx, "ga", a_data.shape)
+                               if grad.ndim == 2 and b_ndim == 2 else None)
+        ga = unbroadcast(grad_a, a_data.shape)
+    if b.requires_grad:
+        if a_ndim == 1 and b_ndim == 1:
+            grad_b = grad * a_data
+        elif a_ndim == 1:                          # (m,) @ (m,p) -> (p,)
+            grad_b = np.outer(a_data, grad)
+        elif b_ndim == 1:                          # (n,m) @ (m,) -> (n,)
+            grad_b = a_data.T @ grad
+        else:
+            grad_b = np.matmul(a_data.swapaxes(-1, -2), grad,
+                               out=ctx_buffer(ctx, "gb", b_data.shape)
+                               if grad.ndim == 2 and a_ndim == 2 else None)
+        gb = unbroadcast(grad_b, b_data.shape)
+    return ga, gb
+
+
+def _reshape_forward(ctx, a, out=None):
+    return a.reshape(ctx["shape"])
+
+
+def _reshape_backward(ctx, out, a):
+    return (out.grad.reshape(a.data.shape),)
+
+
+def _transpose_forward(ctx, a, out=None):
+    return a.transpose(ctx["axes"])
+
+
+def _transpose_backward(ctx, out, a):
+    return (out.grad.transpose(ctx["inverse"]),)
+
+
+def _getitem_forward(ctx, a, out=None):
+    return a[ctx["index"]]
+
+
+def _getitem_backward(ctx, out, a):
+    grad = ctx_zeros(ctx, "ga", a.data.shape, a.data.dtype)
+    np.add.at(grad, ctx["index"], out.grad)
+    return (grad,)
+
+
+def _sum_forward(ctx, a, out=None):
+    return np.sum(a, axis=ctx["axis"], keepdims=ctx["keepdims"], out=out)
+
+
+def _sum_backward(ctx, out, a):
+    grad = out.grad
+    axis, keepdims = ctx["axis"], ctx["keepdims"]
+    if axis is not None and not keepdims:
+        grad = np.expand_dims(grad, axis)
+    expanded = np.broadcast_to(grad, a.data.shape)
+    buf = ctx_buffer(ctx, "ga", a.data.shape, a.data.dtype)
+    np.copyto(buf, expanded)
+    return (buf,)
+
+
+def _max_forward(ctx, a, out=None):
+    return np.amax(a, axis=ctx["axis"], keepdims=ctx["keepdims"], out=out)
+
+
+def _max_backward(ctx, out, a):
+    grad, out_data = out.grad, out.data
+    axis = ctx["axis"]
+    if axis is not None and not ctx["keepdims"]:
+        grad = np.expand_dims(grad, axis)
+        out_data = np.expand_dims(out_data, axis)
+    mask = (a.data == out_data)
+    counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+    return (mask * grad / counts,)
+
+
+def _exp_forward(ctx, a, out=None):
+    return np.exp(a, out=out)
+
+
+def _exp_backward(ctx, out, a):
+    return (np.multiply(out.grad, out.data,
+                        out=ctx_buffer(ctx, "ga", out.data.shape)),)
+
+
+def _log_forward(ctx, a, out=None):
+    return np.log(a, out=out)
+
+
+def _log_backward(ctx, out, a):
+    return (out.grad / a.data,)
 
 
 def tensor(data, requires_grad: bool = False) -> Tensor:

@@ -22,14 +22,35 @@ Two fingerprint modes are available:
 from __future__ import annotations
 
 import hashlib
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from ..core.encoder import EncoderContext
-from ..nn import Module
+from ..nn import Module, Tensor
 
 FINGERPRINT_MODES = ("fast", "full")
+
+
+def _fingerprint_to_json(fingerprint: tuple) -> str:
+    """Serialise a fingerprint tuple losslessly (floats survive via repr)."""
+    def convert(value):
+        if isinstance(value, tuple):
+            return {"t": [convert(v) for v in value]}
+        return value
+
+    return json.dumps(convert(fingerprint))
+
+
+def _fingerprint_from_json(payload: str) -> tuple:
+    def restore(value):
+        if isinstance(value, dict):
+            return tuple(restore(v) for v in value["t"])
+        return value
+
+    return restore(json.loads(payload))
 
 
 def weights_fingerprint(model: Module, mode: str = "fast") -> tuple:
@@ -61,6 +82,7 @@ class ServiceStats:
     incremental_encodes: int = 0   # drugs embedded without a rebuild
     cache_hits: int = 0            # queries answered from cached embeddings
     invalidations: int = 0         # caches dropped (stale weights / explicit)
+    cache_loads: int = 0           # warm restarts from a persisted cache
     pairs_scored: int = 0
     screens: int = 0
 
@@ -75,6 +97,7 @@ class EmbeddingCache:
     fingerprint: tuple | None = None
     context: EncoderContext | None = None
     embeddings: np.ndarray | None = None  # (num_catalog_drugs, hidden_dim)
+    catalog_digest: str | None = None     # set by save()/load() snapshots
     stats: ServiceStats = field(default_factory=ServiceStats)
 
     @property
@@ -103,3 +126,56 @@ class EmbeddingCache:
             raise RuntimeError("cannot append to an invalid cache")
         self.embeddings = np.concatenate([self.embeddings, rows], axis=0)
         self.stats.incremental_encodes += len(rows)
+
+    # ------------------------------------------------------------------
+    # Persistence: ``.npz`` with the weight fingerprint baked in, so a warm
+    # restart of the screening service can skip the initial corpus encode —
+    # and can *prove* the snapshot still matches the model it is serving.
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path,
+             catalog_digest: str | None = None) -> Path:
+        """Write embeddings + encoder context + fingerprint as one ``.npz``.
+
+        ``catalog_digest`` identifies the drug catalog the embedding rows
+        belong to (the weights fingerprint alone cannot: one model serves
+        many catalogs); loaders compare it before trusting the rows.
+        """
+        if not self.valid:
+            raise RuntimeError("cannot save an invalid cache")
+        # np.savez appends ".npz" itself when the suffix is missing; resolve
+        # that here so the returned path is the file that actually exists.
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        arrays = {
+            "fingerprint_json": np.asarray(
+                _fingerprint_to_json(self.fingerprint)),
+            "catalog_digest": np.asarray(
+                catalog_digest if catalog_digest is not None
+                else (self.catalog_digest or "")),
+            "embeddings": self.embeddings,
+            "num_context_layers": np.asarray(self.context.num_layers),
+        }
+        for index, layer in enumerate(self.context.layer_node_feats):
+            arrays[f"context_layer_{index}"] = layer.data
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EmbeddingCache":
+        """Read a :meth:`save` snapshot back (fresh stats, detached context)."""
+        with np.load(Path(path), allow_pickle=False) as archive:
+            fingerprint = _fingerprint_from_json(
+                str(archive["fingerprint_json"]))
+            digest = str(archive["catalog_digest"])
+            num_layers = int(archive["num_context_layers"])
+            context = EncoderContext(layer_node_feats=tuple(
+                Tensor(archive[f"context_layer_{index}"])
+                for index in range(num_layers)))
+            embeddings = archive["embeddings"]
+        cache = cls()
+        cache.fingerprint = fingerprint
+        cache.context = context
+        cache.embeddings = embeddings
+        cache.catalog_digest = digest or None
+        return cache

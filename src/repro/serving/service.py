@@ -26,6 +26,8 @@ straight from a ``serialize.save_model`` artifact
 
 from __future__ import annotations
 
+import hashlib
+import zipfile
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -140,6 +142,70 @@ class DDIScreeningService:
         if force:
             self._cache.drop()
         self._ensure_fresh(check=True)
+
+    def _catalog_digest(self) -> str:
+        """Content hash of the catalog the embedding rows belong to."""
+        digest = hashlib.blake2b(digest_size=16)
+        for smiles, drug_id in zip(self._smiles, self._drug_ids):
+            digest.update(smiles.encode("utf-8"))
+            digest.update(b"\x00")
+            digest.update(drug_id.encode("utf-8"))
+            digest.update(b"\x00")
+        return digest.hexdigest()
+
+    def save_cache(self, path: str | Path) -> Path:
+        """Persist the embedding cache (encoding first if it is cold).
+
+        The snapshot carries the weight fingerprint and a digest of the
+        catalog contents, so a later :meth:`load_cache` can verify it still
+        matches both the model and the drugs being served.
+        """
+        self._ensure_fresh()
+        return self._cache.save(path, catalog_digest=self._catalog_digest())
+
+    def load_cache(self, path: str | Path, strict: bool = False) -> bool:
+        """Warm-start from a :meth:`save_cache` snapshot; True on success.
+
+        The snapshot is installed only if it exists, reads cleanly, its
+        fingerprint matches the *current* model weights (same fingerprint
+        mode included), and its catalog digest matches this service's exact
+        drug list — otherwise it is ignored (or, with ``strict=True``, the
+        error is raised) and the next query re-encodes as usual.  On
+        success the initial corpus encode is skipped entirely.
+        """
+        try:
+            loaded = EmbeddingCache.load(path)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+            # Missing on first boot, truncated write, foreign file format —
+            # all mean "no usable snapshot", which is not an error here.
+            if strict:
+                raise
+            return False
+        fingerprint = self._fingerprint()
+        if not loaded.matches(fingerprint):
+            if strict:
+                raise ValueError(
+                    "persisted cache fingerprint does not match the current "
+                    "model weights")
+            return False
+        if loaded.catalog_digest != self._catalog_digest():
+            if strict:
+                raise ValueError(
+                    "persisted cache was saved for a different drug catalog")
+            return False
+        if (loaded.embeddings.shape[0] != self.num_drugs
+                or loaded.context.num_layers != len(self._model.encoder.layers)):
+            if strict:
+                raise ValueError(
+                    f"persisted cache covers {loaded.embeddings.shape[0]} "
+                    f"drugs / {loaded.context.num_layers} context layers; "
+                    f"this service has {self.num_drugs} drugs / "
+                    f"{len(self._model.encoder.layers)} layers")
+            return False
+        loaded.stats = self._cache.stats
+        self._cache = loaded
+        self._cache.stats.cache_loads += 1
+        return True
 
     def _fingerprint(self) -> tuple:
         return weights_fingerprint(self._model, mode=self._fingerprint_mode)

@@ -29,6 +29,17 @@ class TestConstruction:
     def test_item_on_scalar(self):
         assert Tensor(3.5).item() == pytest.approx(3.5)
 
+    def test_item_on_single_element_array(self):
+        assert Tensor(np.array([[2.0]])).item() == pytest.approx(2.0)
+
+    def test_item_on_multi_element_raises_value_error(self):
+        with pytest.raises(ValueError, match="single-element"):
+            Tensor([1.0, 2.0]).item()
+
+    def test_item_on_empty_raises_value_error(self):
+        with pytest.raises(ValueError, match="single-element"):
+            Tensor(np.zeros((0,))).item()
+
     def test_len(self):
         assert len(Tensor([1.0, 2.0, 3.0])) == 3
 
