@@ -3,6 +3,44 @@
 Both decoders map a pair of drug embeddings to a raw interaction score
 (logit); the sigmoid lives in the loss / prediction step, matching the
 paper's ``σ(γ(q_x, q_y))`` formulation.
+
+Besides the autograd ``forward`` used in training, each decoder exposes a
+numpy-only *screening kernel* for the serving engine, built around a weight
+split of the first MLP layer:
+
+    f1(x ∥ y) = x @ W_q + y @ W_c + b
+
+so the candidate-side projection ``E @ W_c`` (and, for symmetric screening,
+``E @ W_q``) can be computed **once** per (weights, catalog) version and
+reused by every query.  The second layer is folded into the precompute as
+well, via two exact identities (multiplication by a constant is monotone,
+so it commutes with max/min even after rounding):
+
+    γ(q, c) = Σ_j w_j·relu(qˡ_j + C_j) + b₂
+            = (qˡ·w + b₂) + Σ_j w_j·max(C_j, -qˡ_j)
+            = const(q)    + Σ_j [ max(D_j, g_j)  if w_j >= 0
+                                  min(D_j, g_j)  otherwise ]
+
+with ``D = C·w`` precomputed per catalog (columns reordered so the
+``w_j >= 0`` block is contiguous) and ``g = -(qˡ·w)`` per query.  Per
+candidate block that is **one** elementwise max/min pass plus one row-sum
+— down from GEMM + bias + ReLU + weighted sum in the naive path.
+
+The kernel is deliberately composed only of *blocking-invariant* numpy
+operations (elementwise broadcast add / ReLU / multiply, and per-row
+pairwise-sum reductions): every output element depends solely on its own
+row's inputs, computed identically for any block size, shard layout, or
+query-batch size.  That is what lets the engine guarantee bitwise-identical
+exact-mode scores across all execution plans.  (A ``(B, h) @ (h, 1)`` GEMV
+is *not* row-blocking-invariant under this BLAS, so ``f2`` is applied as
+``(hidden * w2).sum(-1)`` instead of a matmul; query projections are
+likewise computed one row at a time so batched and single-query screening
+agree bitwise.)
+
+Block-sized scratch buffers are cached per decoder and reused across
+blocks (half-MB allocations are mmap-backed and page-fault on every reuse
+otherwise), which makes ``score_block`` non-reentrant: one screening call
+at a time per decoder instance, like every other module here.
 """
 
 from __future__ import annotations
@@ -12,13 +50,37 @@ import numpy as np
 from ..nn import Linear, Module, Tensor
 from ..nn import functional as F
 
+_SCRATCH_CACHE_LIMIT = 8
+# Scoring kernels tile candidate rows so per-tile scratch stays ~256 KB
+# (L2-resident); the tile size adapts to query-batch width.
+_KERNEL_TILE_ELEMENTS = 32768
 
-class MLPDecoder(Module):
+
+class _ScratchMixin:
+    """Reusable per-shape numpy scratch buffers for the screening kernels."""
+
+    def _scratch(self, shape: tuple[int, ...]) -> np.ndarray:
+        cache = self.__dict__.setdefault("_scratch_bufs", {})
+        buffer = cache.get(shape)
+        if buffer is None:
+            if len(cache) >= _SCRATCH_CACHE_LIMIT:
+                cache.clear()
+            buffer = np.empty(shape)
+            cache[shape] = buffer
+        return buffer
+
+
+class MLPDecoder(_ScratchMixin, Module):
     """Eq. (11): ``γ(q_x, q_y) = f2(f1(q_x ∥ q_y))``.
 
     Two affine layers with a ReLU between them (the paper uses ReLU on the
     decoder side, Sec. IV-B); output is a scalar logit per pair.
     """
+
+    # Screening-engine traits: γ(x, y) != γ(y, x), no cheap inner-product
+    # prefilter exists for the MLP form.
+    is_symmetric = False
+    supports_prefilter = False
 
     def __init__(self, embed_dim: int, hidden_dim: int,
                  rng: np.random.Generator):
@@ -31,15 +93,195 @@ class MLPDecoder(Module):
         hidden = F.relu(self.f1(pair))
         return self.f2(hidden).reshape(len(left))
 
+    # ------------------------------------------------------------------
+    # Serving fast path (numpy-only, no autograd)
+    # ------------------------------------------------------------------
+    def split_f1(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(W_q, W_c, b)`` such that ``f1(x ∥ y) = x@W_q + y@W_c + b``."""
+        weight = self.f1.weight.data
+        embed_dim = self.f1.in_features // 2
+        return weight[:embed_dim], weight[embed_dim:], self.f1.bias.data
 
-class DotDecoder(Module):
+    def _column_order(self) -> tuple[np.ndarray, int]:
+        """Column permutation putting ``w2_j >= 0`` first, and the split point.
+
+        Derived from the live weights on every call so it can never go
+        stale; the candidate projections and query projections both apply
+        it, keeping max/min branch membership consistent.
+        """
+        w2 = self.f2.weight.data[:, 0]
+        nonneg = w2 >= 0
+        order = np.argsort(~nonneg, kind="stable")
+        return order, int(nonneg.sum())
+
+    def candidate_projections(self, embeddings: np.ndarray
+                              ) -> dict[str, np.ndarray]:
+        """Per-catalog precompute: ``D = (E @ W)·w2``, split by sign of w2.
+
+        The ``w2_j >= 0`` columns (scored with ``max``) and ``w2_j < 0``
+        columns (scored with ``min``) are stored as two *contiguous*
+        matrices — numpy's elementwise loops are ~2x faster on contiguous
+        blocks than on column-sliced views.  ``as_right`` serves the usual
+        query-left orientation γ(query, cand); ``as_left`` serves the
+        reversed orientation γ(cand, query) that symmetric screening
+        averages in.
+        """
+        embeddings = np.asarray(embeddings)
+        w_query, w_cand, _ = self.split_f1()
+        w2 = self.f2.weight.data[:, 0]
+        order, split = self._column_order()
+
+        def sides(weight):
+            scaled = embeddings @ weight * w2
+            return (np.ascontiguousarray(scaled[:, order[:split]]),
+                    np.ascontiguousarray(scaled[:, order[split:]]))
+
+        left_max, left_min = sides(w_query)
+        right_max, right_min = sides(w_cand)
+        return {"as_left_max": left_max, "as_left_min": left_min,
+                "as_right_max": right_max, "as_right_min": right_min}
+
+    def project_queries(self, queries: np.ndarray,
+                        sides: tuple[str, ...] = ("as_left", "as_right")
+                        ) -> dict[str, dict[str, np.ndarray]]:
+        """Query-side operands per orientation: ``g = -(qˡ·w2)`` + ``const``.
+
+        Rows are projected individually so a query scored inside a batch
+        gets bitwise the same projection as the same query screened alone
+        (this BLAS dispatches 1-row and n-row GEMMs differently).
+        ``sides`` limits the work to the orientations a caller will score
+        (forward-only screens never need ``as_right``).
+        """
+        queries = np.atleast_2d(np.asarray(queries))
+        w_query, w_cand, bias = self.split_f1()
+        w2 = self.f2.weight.data[:, 0]
+        bias2 = self.f2.bias.data[0]
+        order, split = self._column_order()
+        weights = {"as_left": w_query, "as_right": w_cand}
+
+        def side(weight):
+            if len(queries) == 1:
+                hidden = queries @ weight + bias
+            else:
+                hidden = np.concatenate([row[None, :] @ weight
+                                         for row in queries], axis=0) + bias
+            scaled = hidden * w2
+            flipped = -scaled
+            return {"const": scaled.sum(axis=1) + bias2,
+                    "g_max": np.ascontiguousarray(flipped[:, order[:split]]),
+                    "g_min": np.ascontiguousarray(flipped[:, order[split:]])}
+
+        return {name: side(weights[name]) for name in sides}
+
+    def score_block(self, query_proj: dict[str, dict[str, np.ndarray]],
+                    cand_proj: dict[str, np.ndarray],
+                    reverse: bool = False) -> np.ndarray:
+        """``(num_queries, block)`` logits from precomputed projections.
+
+        One max/min pass + one row-sum per block (see the module docstring
+        for the exact w2-folding identity).  ``reverse=True`` scores
+        γ(candidate, query) — the other argument order — for symmetric
+        screening.
+        """
+        orient = "as_right" if reverse else "as_left"
+        cand_orient = "as_left" if reverse else "as_right"
+        query = query_proj[orient]
+        cand_max = cand_proj[f"{cand_orient}_max"]
+        cand_min = cand_proj[f"{cand_orient}_min"]
+        g_max, g_min, const = query["g_max"], query["g_min"], query["const"]
+        num_queries, num_cands = len(const), len(cand_max)
+        out = np.empty((num_queries, num_cands))
+        out[:] = const[:, None]
+        # Row-tile so the folded scratch stays cache-resident, then fold
+        # each sign block with one contiguous max/min pass and reduce it
+        # immediately.  Tiling is invisible to the result — every op is
+        # per-element / per-row.
+        for cand_part, g_part, ufunc in ((cand_max, g_max, np.maximum),
+                                         (cand_min, g_min, np.minimum)):
+            width = cand_part.shape[1]
+            if not width:
+                continue
+            tile = max(16, _KERNEL_TILE_ELEMENTS
+                       // max(num_queries * width, 1))
+            rows = min(tile, num_cands) or 1
+            if num_queries == 1:
+                # 2D tiles: numpy's elementwise loops are markedly faster
+                # on 2D arrays than on broadcast 3D ones; bitwise equal.
+                g_row = g_part[0]
+                scratch = self._scratch((rows, width))
+                for start in range(0, num_cands, tile):
+                    block = cand_part[start:start + tile]
+                    folded = scratch[:len(block)]
+                    ufunc(block, g_row, out=folded)
+                    out[0, start:start + len(block)] += folded.sum(axis=-1)
+            else:
+                scratch = self._scratch((num_queries, rows, width))
+                for start in range(0, num_cands, tile):
+                    block = cand_part[start:start + tile]
+                    folded = scratch[:, :len(block)]
+                    ufunc(block[None, :, :], g_part[:, None, :], out=folded)
+                    out[:, start:start + len(block)] += folded.sum(axis=-1)
+        return out
+
+
+class DotDecoder(_ScratchMixin, Module):
     """Eq. (12): element-wise dot product ``q_x · q_y`` (no parameters)."""
+
+    is_symmetric = True
+    supports_prefilter = True
 
     def __init__(self):
         super().__init__()
 
     def forward(self, left: Tensor, right: Tensor) -> Tensor:
         return (left * right).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Serving fast path
+    # ------------------------------------------------------------------
+    def candidate_projections(self, embeddings: np.ndarray
+                              ) -> dict[str, np.ndarray]:
+        """The raw embedding matrix is already the candidate-side operand."""
+        return {"emb": np.asarray(embeddings)}
+
+    def project_queries(self, queries: np.ndarray,
+                        sides: tuple[str, ...] = ()) -> dict[str, np.ndarray]:
+        return {"emb": np.atleast_2d(np.asarray(queries))}
+
+    def score_block(self, query_proj: dict[str, np.ndarray],
+                    cand_proj: dict[str, np.ndarray],
+                    reverse: bool = False) -> np.ndarray:
+        """Exact per-row products + pairwise row sums (blocking-invariant).
+
+        Bitwise-identical to the training path's ``(left * right).sum(1)``
+        — a GEMV would reorder the reduction.  ``reverse`` is accepted for
+        interface parity; the dot product is symmetric.
+        """
+        queries = query_proj["emb"]
+        cand = cand_proj["emb"]
+        num_cands, width = cand.shape
+        out = np.empty((len(queries), num_cands))
+        # Same cache-tiling rationale as the MLP kernel: multiply into an
+        # L2-resident scratch tile and reduce it immediately.
+        tile = max(16, _KERNEL_TILE_ELEMENTS // max(width, 1))
+        scratch = self._scratch((min(tile, num_cands) or 1, width))
+        for qi, row in enumerate(queries):
+            for start in range(0, num_cands, tile):
+                block = cand[start:start + tile]
+                np.multiply(block, row, out=scratch[:len(block)])
+                out[qi, start:start + len(block)] = \
+                    scratch[:len(block)].sum(axis=1)
+        return out
+
+    def prefilter_block(self, query_proj: dict[str, np.ndarray],
+                        cand_proj: dict[str, np.ndarray]) -> np.ndarray:
+        """Approximate-mode scores: one ``(B, d) @ (d, nq)`` GEMM per block.
+
+        Mathematically the same inner products as :meth:`score_block`, but
+        BLAS-reduced — ULP-level differences can reorder near-ties, which is
+        why approximate mode exact-reranks its survivors.
+        """
+        return (cand_proj["emb"] @ query_proj["emb"].T).T
 
 
 def make_decoder(kind: str, embed_dim: int, hidden_dim: int,

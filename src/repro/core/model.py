@@ -118,3 +118,42 @@ class HyGNN(Module):
             return F.sigmoid(logits).numpy().copy()
         finally:
             self.train(was_training)
+
+    # ------------------------------------------------------------------
+    # Screening fast path (split-weight decoder kernels, numpy-only)
+    # ------------------------------------------------------------------
+    def candidate_projections(self, embeddings: Tensor | np.ndarray
+                              ) -> dict[str, np.ndarray]:
+        """Precompute the candidate-side decoder operands for a catalog.
+
+        One GEMM per (weights, catalog) version; afterwards screening a
+        query against the catalog never re-projects candidate embeddings
+        (see :meth:`screen_probs` and ``repro.serving``).
+        """
+        if isinstance(embeddings, Tensor):
+            embeddings = embeddings.data
+        return self.decoder.candidate_projections(np.asarray(embeddings))
+
+    def screen_probs(self, query_embeddings: np.ndarray,
+                     candidate_projections: dict[str, np.ndarray],
+                     symmetric: bool = False) -> np.ndarray:
+        """``(num_queries, num_candidates)`` interaction probabilities.
+
+        The single-block reference of the blockwise screening engine: the
+        engine's exact mode reproduces this bitwise for every block size,
+        shard layout, and query batching (the decoder kernels are built
+        from blocking-invariant operations only).
+        """
+        queries = np.atleast_2d(np.asarray(query_embeddings))
+        two_sided = symmetric and not self.decoder.is_symmetric
+        query_proj = self.decoder.project_queries(
+            queries, sides=("as_left", "as_right") if two_sided
+            else ("as_left",))
+        logits = self.decoder.score_block(query_proj, candidate_projections)
+        probs = F.stable_sigmoid(logits)
+        if two_sided:
+            reverse = self.decoder.score_block(query_proj,
+                                               candidate_projections,
+                                               reverse=True)
+            probs = 0.5 * (probs + F.stable_sigmoid(reverse))
+        return probs

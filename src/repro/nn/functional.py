@@ -62,13 +62,23 @@ def leaky_relu(x: Tensor, negative_slope: float = 0.2) -> Tensor:
 def stable_sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically stable piecewise sigmoid on a raw numpy array.
 
-    Shared by the ``sigmoid`` op and the BCE-with-logits gradient; the
-    clips only silence overflow in the branch ``np.where`` discards, so
-    selected values are exact.
+    Shared by the ``sigmoid`` op and the BCE-with-logits gradient.  Each
+    branch is evaluated only on the elements it is selected for (an
+    ``np.where`` over both full branches would pay two ``exp`` passes per
+    element and need clips to silence overflow in the discarded branch);
+    on its own branch each formula is overflow-free, and per-element
+    results are identical to the two-sided formulation.
     """
-    return np.where(z >= 0, 1.0 / (1.0 + np.exp(-np.clip(z, -500, None))),
-                    np.exp(np.clip(z, None, 500))
-                    / (1.0 + np.exp(np.clip(z, None, 500))))
+    z = np.asarray(z)
+    positive = z >= 0
+    negative = ~positive
+    out = np.empty_like(
+        z, dtype=z.dtype if np.issubdtype(z.dtype, np.floating)
+        else np.float64)
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[negative])
+    out[negative] = exp_z / (1.0 + exp_z)
+    return out
 
 
 def _sigmoid_forward(ctx, x, out=None):

@@ -3,15 +3,23 @@
 Turns the repeat-scoring hot path from O(full-graph encode) per call into
 O(pairs) over cached drug embeddings, with fingerprint-based invalidation on
 weight updates and incremental (cold-start, paper Table IX) registration of
-new drugs.
+new drugs.  Screening runs on a scale-aware engine: precomputed split-weight
+decoder projections, blockwise streaming top-k (O(block + k) peak memory),
+sharded catalogs with deterministic merge, query micro-batching, and an
+optional inner-product prefilter for approximate top-k at very large
+catalog sizes.
 """
 
 from .cache import (FINGERPRINT_MODES, EmbeddingCache, ServiceStats,
                     weights_fingerprint)
 from .service import DDIScreeningService, ScreenHit
+from .shards import CatalogShard, ShardedEmbeddingCatalog
+from .topk import TopKAccumulator, merge_top_k, top_k_desc
 
 __all__ = [
     "DDIScreeningService", "ScreenHit",
     "EmbeddingCache", "ServiceStats", "weights_fingerprint",
     "FINGERPRINT_MODES",
+    "ShardedEmbeddingCatalog", "CatalogShard",
+    "TopKAccumulator", "merge_top_k", "top_k_desc",
 ]

@@ -53,24 +53,44 @@ def _fingerprint_from_json(payload: str) -> tuple:
     return restore(json.loads(payload))
 
 
-def weights_fingerprint(model: Module, mode: str = "fast") -> tuple:
-    """A hashable token identifying the model's current weights."""
+def weights_fingerprint(model: Module, mode: str = "fast",
+                        params: list[tuple[str, "Tensor"]] | None = None
+                        ) -> tuple:
+    """A hashable token identifying the model's current weights.
+
+    ``params`` lets hot-path callers pass a cached ``sorted(
+    model.named_parameters())`` list — the parameter *set* of a model is
+    fixed after construction, only ``.data`` values change, and walking
+    the module tree every query costs more than the checksums themselves.
+    """
     if mode not in FINGERPRINT_MODES:
         raise ValueError(f"fingerprint mode must be one of "
                          f"{FINGERPRINT_MODES}, got {mode!r}")
+    if params is None:
+        params = sorted(model.named_parameters())
     if mode == "full":
         digest = hashlib.blake2b(digest_size=16)
-        for name, param in sorted(model.named_parameters()):
+        for name, param in params:
             digest.update(name.encode("utf-8"))
             digest.update(str(param.data.shape).encode("utf-8"))
             digest.update(np.ascontiguousarray(param.data).tobytes())
         return ("full", digest.hexdigest())
     parts: list[tuple] = []
-    for name, param in sorted(model.named_parameters()):
+    for name, param in params:
         data = param.data
         flat = data.reshape(-1)
-        parts.append((name, data.shape, float(flat.sum()),
-                      float(flat[::7].sum()), float(flat[1::13].sum())))
+        # Whole-array sum: any dense update (optimizer steps touch every
+        # entry) flips it.  Large arrays add two contiguous window sums to
+        # also catch partial edits that happen to preserve the total; for
+        # small arrays the windows would cost more in reduction-dispatch
+        # overhead than they add in power.
+        if flat.size >= 4096:
+            third = flat.size // 3
+            parts.append((name, data.shape, float(np.add.reduce(flat)),
+                          float(np.add.reduce(flat[:third])),
+                          float(np.add.reduce(flat[-third:]))))
+        else:
+            parts.append((name, data.shape, float(np.add.reduce(flat))))
     return ("fast", tuple(parts))
 
 
@@ -92,12 +112,22 @@ class ServiceStats:
 
 @dataclass
 class EmbeddingCache:
-    """Embedding matrix + encoder context, valid for one weights fingerprint."""
+    """Embedding matrix + encoder context, valid for one weights fingerprint.
+
+    Alongside the raw embeddings the cache can hold the *candidate-side
+    decoder projections* (``decoder.candidate_projections``), the per-
+    (weights, catalog) precompute that makes screening queries one
+    broadcast-add instead of a catalog-sized GEMM.  ``version`` increments
+    on every content change so derived structures (the service's sharded
+    catalog) know when to rebuild.
+    """
 
     fingerprint: tuple | None = None
     context: EncoderContext | None = None
     embeddings: np.ndarray | None = None  # (num_catalog_drugs, hidden_dim)
+    projections: dict[str, np.ndarray] | None = None  # candidate precompute
     catalog_digest: str | None = None     # set by save()/load() snapshots
+    version: int = 0                      # bumped on install/append/drop
     stats: ServiceStats = field(default_factory=ServiceStats)
 
     @property
@@ -113,19 +143,55 @@ class EmbeddingCache:
         self.fingerprint = None
         self.context = None
         self.embeddings = None
+        self.projections = None
+        self.version += 1
 
     def install(self, fingerprint: tuple, context: EncoderContext,
-                embeddings: np.ndarray) -> None:
+                embeddings: np.ndarray,
+                projections: dict[str, np.ndarray] | None = None) -> None:
         self.fingerprint = fingerprint
         self.context = context
         self.embeddings = embeddings
+        self.projections = projections
+        self.version += 1
         self.stats.corpus_encodes += 1
 
-    def append_rows(self, rows: np.ndarray) -> None:
+    def append_rows(self, rows: np.ndarray,
+                    projections: dict[str, np.ndarray] | None = None) -> None:
         if not self.valid:
             raise RuntimeError("cannot append to an invalid cache")
+        previous = self.embeddings
         self.embeddings = np.concatenate([self.embeddings, rows], axis=0)
+        if self.projections is not None:
+            if projections is None or set(projections) != set(self.projections):
+                # No matching precompute for the new rows: fall back to a
+                # lazy full recompute on the next ensure_projections call.
+                self.projections = None
+            else:
+                # A projection that *is* the embedding matrix (the dot
+                # decoder's identity precompute) stays an alias instead of
+                # forking into a second full copy.
+                self.projections = {
+                    name: (self.embeddings if matrix is previous
+                           else np.concatenate([matrix, projections[name]],
+                                               axis=0))
+                    for name, matrix in self.projections.items()}
+        self.version += 1
         self.stats.incremental_encodes += len(rows)
+
+    def ensure_projections(self, decoder) -> dict[str, np.ndarray]:
+        """Candidate projections for the cached embeddings, computing once.
+
+        ``decoder`` is any module exposing ``candidate_projections`` (see
+        :mod:`repro.core.decoder`).  Snapshots written before projections
+        existed load with ``projections=None`` and recompute here.
+        """
+        if not self.valid:
+            raise RuntimeError("cannot project an invalid cache")
+        if self.projections is None:
+            self.projections = decoder.candidate_projections(self.embeddings)
+            self.version += 1
+        return self.projections
 
     # ------------------------------------------------------------------
     # Persistence: ``.npz`` with the weight fingerprint baked in, so a warm
@@ -158,6 +224,18 @@ class EmbeddingCache:
         }
         for index, layer in enumerate(self.context.layer_node_feats):
             arrays[f"context_layer_{index}"] = layer.data
+        if self.projections is not None:
+            arrays["projection_names"] = np.asarray(
+                sorted(self.projections), dtype=str)
+            # Identity projections (the dot decoder) alias the embedding
+            # matrix — record the alias instead of writing the array twice.
+            aliases = [name for name, matrix in self.projections.items()
+                       if matrix is self.embeddings]
+            arrays["projection_aliases"] = np.asarray(sorted(aliases),
+                                                      dtype=str)
+            for name in self.projections:
+                if name not in aliases:
+                    arrays[f"projection_{name}"] = self.projections[name]
         np.savez_compressed(path, **arrays)
         return path
 
@@ -173,9 +251,17 @@ class EmbeddingCache:
                 Tensor(archive[f"context_layer_{index}"])
                 for index in range(num_layers)))
             embeddings = archive["embeddings"]
+            projections = None
+            if "projection_names" in archive.files:
+                aliases = (set(str(a) for a in archive["projection_aliases"])
+                           if "projection_aliases" in archive.files else set())
+                projections = {str(name): (embeddings if str(name) in aliases
+                                           else archive[f"projection_{name}"])
+                               for name in archive["projection_names"]}
         cache = cls()
         cache.fingerprint = fingerprint
         cache.context = context
         cache.embeddings = embeddings
+        cache.projections = projections
         cache.catalog_digest = digest or None
         return cache

@@ -38,7 +38,9 @@ from ..core.model import HyGNN
 from ..core.serialize import load_model
 from ..hypergraph import DrugHypergraphBuilder, Hypergraph
 from ..nn import Tensor
+from ..nn.functional import stable_sigmoid
 from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
+from .shards import ShardedEmbeddingCatalog
 
 
 @dataclass(frozen=True)
@@ -51,15 +53,29 @@ class ScreenHit:
 
 
 class DDIScreeningService:
-    """Embed-once / score-many serving layer for a trained HyGNN model."""
+    """Embed-once / score-many serving layer for a trained HyGNN model.
+
+    ``block_size`` and ``num_shards`` shape the screening engine: candidates
+    are scored in ``block_size``-row blocks with streaming top-k selection
+    (peak scoring memory O(block + k), never O(catalog)), partitioned into
+    ``num_shards`` shards with per-shard top-k and a deterministic merge.
+    Exact-mode screening scores are bitwise-identical for every choice of
+    both knobs.
+    """
 
     def __init__(self, model: HyGNN, builder: DrugHypergraphBuilder,
                  catalog_smiles: list[str],
                  drug_ids: list[str] | None = None,
                  auto_refresh: bool = True,
-                 fingerprint_mode: str = "fast"):
+                 fingerprint_mode: str = "fast",
+                 block_size: int = 1024,
+                 num_shards: int = 1):
         if not catalog_smiles:
             raise ValueError("catalog must contain at least one drug")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
         vocab = builder.vocabulary  # raises if the builder is unfitted
         if len(vocab) != model.encoder.num_substructures:
             raise ValueError(
@@ -88,6 +104,18 @@ class DDIScreeningService:
         # registration order (needed to re-encode them after invalidation).
         self._extension_nodes: list[np.ndarray] = []
         self._cache = EmbeddingCache()
+        self.block_size = block_size
+        self.num_shards = num_shards
+        # Sharded catalog derived from the cache; rebuilt when the cache
+        # version (or either knob) changes.
+        self._catalog_engine: ShardedEmbeddingCatalog | None = None
+        self._catalog_key: tuple | None = None
+        # Sorted drug-id table for vectorized id -> index lookups; rebuilt
+        # lazily after registrations.
+        self._id_table: tuple[np.ndarray, np.ndarray] | None = None
+        # The model's parameter set is fixed after construction; cache the
+        # sorted walk so per-query staleness checks only pay the checksums.
+        self._param_list: list | None = None
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -204,11 +232,18 @@ class DDIScreeningService:
             return False
         loaded.stats = self._cache.stats
         self._cache = loaded
+        # The snapshot is a fresh cache object with its own version counter;
+        # drop any catalog derived from the previous one.
+        self._catalog_engine = None
+        self._catalog_key = None
         self._cache.stats.cache_loads += 1
         return True
 
     def _fingerprint(self) -> tuple:
-        return weights_fingerprint(self._model, mode=self._fingerprint_mode)
+        if self._param_list is None:
+            self._param_list = sorted(self._model.named_parameters())
+        return weights_fingerprint(self._model, mode=self._fingerprint_mode,
+                                   params=self._param_list)
 
     def _ensure_fresh(self, check: bool | None = None) -> None:
         if check is None:
@@ -246,8 +281,10 @@ class DDIScreeningService:
             # would pin the whole corpus-encode autograd graph in the cache.
             detached = EncoderContext(layer_node_feats=tuple(
                 Tensor(t.data) for t in context.layer_node_feats))
-            self._cache.install(fingerprint, detached,
-                                np.concatenate(rows, axis=0))
+            embeddings = np.concatenate(rows, axis=0)
+            self._cache.install(
+                fingerprint, detached, embeddings,
+                projections=model.candidate_projections(embeddings))
         finally:
             model.train(was_training)
 
@@ -311,7 +348,8 @@ class DDIScreeningService:
                 len(node_lists)).numpy()
         finally:
             model.train(was_training)
-        self._cache.append_rows(rows)
+        self._cache.append_rows(
+            rows, projections=model.candidate_projections(rows))
 
         indices = []
         for smiles, drug_id, nodes in zip(smiles_list, drug_ids, node_lists):
@@ -321,6 +359,7 @@ class DDIScreeningService:
             self._index[drug_id] = index
             self._extension_nodes.append(nodes)
             indices.append(index)
+        self._id_table = None
         return indices
 
     # ------------------------------------------------------------------
@@ -328,8 +367,13 @@ class DDIScreeningService:
     # ------------------------------------------------------------------
     def _check_pairs(self, pairs: np.ndarray) -> np.ndarray:
         pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
-        if pairs.size and (pairs.min() < 0 or pairs.max() >= self.num_drugs):
-            raise IndexError("pair index out of catalog range")
+        if pairs.size:
+            bad = (pairs < 0) | (pairs >= self.num_drugs)
+            if bad.any():
+                row, col = (int(v) for v in np.argwhere(bad)[0])
+                raise IndexError(
+                    f"pair {row}, position {col}: index {int(pairs[row, col])} "
+                    f"out of catalog range [0, {self.num_drugs})")
         return pairs
 
     def score_pairs(self, pairs: np.ndarray) -> np.ndarray:
@@ -340,55 +384,200 @@ class DDIScreeningService:
         return self._model.predict_proba_from_embeddings(
             self._cache.embeddings, pairs)
 
-    def score_id_pairs(self, id_pairs: list[tuple[str, str]]) -> np.ndarray:
-        """Like :meth:`score_pairs`, addressing drugs by their ids."""
-        pairs = np.array([[self.index_of(a), self.index_of(b)]
-                          for a, b in id_pairs], dtype=np.int64)
-        return self.score_pairs(pairs.reshape(-1, 2))
+    def _ids_to_indices(self, ids: np.ndarray) -> np.ndarray:
+        """Vectorized drug-id -> catalog-index lookup via a sorted table."""
+        if self._id_table is None:
+            table = np.asarray(self._drug_ids)
+            order = np.argsort(table).astype(np.int64)
+            self._id_table = (table[order], order)
+        sorted_ids, perm = self._id_table
+        # searchsorted needs a common dtype; widen to the longer string type.
+        ids = ids.astype(sorted_ids.dtype) if ids.dtype < sorted_ids.dtype \
+            else ids
+        pos = np.searchsorted(sorted_ids, ids)
+        safe = np.minimum(pos, len(sorted_ids) - 1)
+        bad = sorted_ids[safe] != ids
+        if bad.any():
+            where = np.argwhere(bad)[0]
+            raise KeyError(f"unknown drug id {ids[tuple(where)]!r} "
+                           f"(pair {int(where[0])})")
+        return perm[safe]
 
-    def _rank(self, probs: np.ndarray, top_k: int,
-              exclude: set[int]) -> list[ScreenHit]:
-        if top_k <= 0:
-            return []
-        order = np.argsort(-probs, kind="stable")
-        hits: list[ScreenHit] = []
-        for j in order:
-            if int(j) in exclude:
+    def score_id_pairs(self, id_pairs: list[tuple[str, str]]) -> np.ndarray:
+        """Like :meth:`score_pairs`, addressing drugs by their ids.
+
+        One vectorized vocabulary lookup for the whole batch — no per-pair
+        Python dictionary walk.
+        """
+        ids = np.asarray(id_pairs, dtype=str).reshape(-1, 2)
+        if not ids.size:
+            return np.zeros(0, dtype=np.float64)
+        return self.score_pairs(self._ids_to_indices(ids))
+
+    # -- blockwise / sharded screening engine ---------------------------
+    # (The pre-engine ``_rank`` — a full stable argsort over dense catalog
+    # probabilities — is gone: ranking now happens inside the streaming
+    # top-k selection, which reproduces its ordering, ties included.)
+    def _catalog(self) -> ShardedEmbeddingCatalog:
+        """The sharded catalog for the current cache contents (memoized)."""
+        projections = self._cache.ensure_projections(self._model.decoder)
+        key = (self._cache.version, self.block_size, self.num_shards)
+        if self._catalog_engine is None or self._catalog_key != key:
+            self._catalog_engine = ShardedEmbeddingCatalog(
+                self._cache.embeddings, projections,
+                num_shards=self.num_shards, block_size=self.block_size)
+            self._catalog_key = key
+        return self._catalog_engine
+
+    def _resolve_exclude(self, exclude: tuple) -> np.ndarray:
+        resolved = {i if isinstance(i, (int, np.integer)) else
+                    self.index_of(i) for i in exclude}
+        return np.fromiter(resolved, dtype=np.int64, count=len(resolved))
+
+    def _screen_embeddings(self, query_embeddings: np.ndarray,
+                           top_k: int, exclude: list[np.ndarray],
+                           symmetric: bool, approx: bool,
+                           approx_oversample: int) -> list[list[ScreenHit]]:
+        """Shared engine behind screen / screen_batch / screen_smiles.
+
+        Exact mode streams probability blocks through per-shard top-k
+        selection; scores are bitwise-identical to
+        :meth:`HyGNN.screen_probs` over the full catalog for every block
+        size, shard layout, and query-batch size.  Approximate mode (dot
+        decoder only) prefilters with one inner-product GEMM per block,
+        then exact-reranks the ``top_k * approx_oversample`` survivors.
+        """
+        decoder = self._model.decoder
+        catalog = self._catalog()
+        num_queries = len(query_embeddings)
+        two_sided = symmetric and not decoder.is_symmetric
+        query_proj = decoder.project_queries(
+            query_embeddings,
+            sides=("as_left", "as_right") if two_sided else ("as_left",))
+
+        def make_exact(projections):
+            def exact_probs(_emb_block, proj_block):
+                probs = stable_sigmoid(decoder.score_block(projections,
+                                                           proj_block))
+                if two_sided:
+                    probs = 0.5 * (probs + stable_sigmoid(
+                        decoder.score_block(projections, proj_block,
+                                            reverse=True)))
+                return probs
+            return exact_probs
+
+        if approx:
+            if not decoder.supports_prefilter:
+                raise ValueError(
+                    f"approximate screening needs an inner-product decoder "
+                    f"(dot); {type(decoder).__name__} has no prefilter")
+            if approx_oversample < 1:
+                raise ValueError("approx_oversample must be >= 1")
+            results = self._approx_screen(catalog, decoder, query_proj,
+                                          num_queries, make_exact, top_k,
+                                          exclude, approx_oversample)
+        else:
+            results = catalog.screen(make_exact(query_proj), num_queries,
+                                     top_k, exclude=exclude)
+        per_direction = 2 if two_sided else 1
+        self._cache.stats.pairs_scored += (num_queries * self.num_drugs
+                                           * per_direction)
+        self._cache.stats.screens += num_queries
+        return [[ScreenHit(index=int(j), drug_id=self._drug_ids[j],
+                           probability=float(p))
+                 for j, p in zip(indices, probs)]
+                for indices, probs in results]
+
+    def _approx_screen(self, catalog, decoder, query_proj, num_queries,
+                       make_exact, top_k, exclude, oversample):
+        """Inner-product prefilter, then exact rerank of the survivors."""
+        def prefilter(_emb_block, proj_block):
+            return decoder.prefilter_block(query_proj, proj_block)
+
+        shortlist = catalog.screen(prefilter, num_queries,
+                                   max(top_k * oversample, top_k),
+                                   exclude=exclude)
+        results = []
+        for qi, (cand_indices, _approx_scores) in enumerate(shortlist):
+            if not len(cand_indices):
+                results.append((cand_indices, np.zeros(0)))
                 continue
-            hits.append(ScreenHit(index=int(j), drug_id=self._drug_ids[j],
-                                  probability=float(probs[j])))
-            if len(hits) == top_k:
-                break
-        return hits
+            emb_rows, proj_rows = catalog.rows(cand_indices)
+            qi_proj = {name: rows[qi:qi + 1]
+                       for name, rows in query_proj.items()}
+            # Rerank with the exact kernel: probabilities of the survivors
+            # are bitwise what exact mode would report for them.
+            probs = make_exact(qi_proj)(emb_rows, proj_rows)[0]
+            select = np.lexsort((cand_indices, -probs))[:top_k]
+            results.append((cand_indices[select], probs[select]))
+        return results
 
     def screen(self, query: int | str, top_k: int = 5,
-               exclude: tuple = (), symmetric: bool = False
+               exclude: tuple = (), symmetric: bool = False,
+               approx: bool = False, approx_oversample: int = 4
                ) -> list[ScreenHit]:
         """Top-k most likely interaction partners of one catalog drug.
 
         ``symmetric=True`` averages σ(γ(x, y)) and σ(γ(y, x)) — the MLP
         decoder is order-sensitive; the dot decoder is already symmetric.
+        ``approx=True`` (dot decoder only) ranks via an inner-product
+        prefilter over ``top_k * approx_oversample`` candidates before an
+        exact rerank — near-ties beyond the shortlist may be missed.
         """
-        index = query if isinstance(query, int) else self.index_of(query)
+        index = int(query) if isinstance(query, (int, np.integer)) \
+            else self.index_of(query)
         if not 0 <= index < self.num_drugs:
             raise IndexError(f"catalog index {index} out of range")
-        candidates = np.arange(self.num_drugs, dtype=np.int64)
-        pairs = np.stack([np.full_like(candidates, index), candidates], axis=1)
-        probs = self.score_pairs(pairs)
-        if symmetric:
-            probs = 0.5 * (probs + self.score_pairs(pairs[:, ::-1]))
-        self._cache.stats.screens += 1
-        excluded = {index} | {i if isinstance(i, int) else self.index_of(i)
-                              for i in exclude}
-        return self._rank(probs, top_k, excluded)
+        self._ensure_fresh()
+        query_emb = self._cache.embeddings[index:index + 1]
+        if exclude:
+            excluded = np.union1d(self._resolve_exclude(exclude),
+                                  np.array([index], dtype=np.int64))
+        else:
+            excluded = np.array([index], dtype=np.int64)
+        return self._screen_embeddings(query_emb, top_k, [excluded],
+                                       symmetric, approx,
+                                       approx_oversample)[0]
+
+    def screen_batch(self, queries: list[int | str], top_k: int = 5,
+                     exclude: tuple = (), symmetric: bool = False,
+                     approx: bool = False, approx_oversample: int = 4
+                     ) -> list[list[ScreenHit]]:
+        """Micro-batched screening: many queries, one pass over the catalog.
+
+        Every candidate block is scored against the whole query batch in a
+        single vectorized kernel call (for the dot prefilter, one GEMM per
+        block), so catalog traffic is paid once for the batch instead of
+        once per query.  Per-query results are bitwise-identical to calling
+        :meth:`screen` one query at a time.
+        """
+        if not len(queries):
+            return []
+        indices = [int(q) if isinstance(q, (int, np.integer))
+                   else self.index_of(q) for q in queries]
+        for index in indices:
+            if not 0 <= index < self.num_drugs:
+                raise IndexError(f"catalog index {index} out of range")
+        self._ensure_fresh()
+        shared = self._resolve_exclude(exclude)
+        per_query = [np.union1d(shared, np.array([index], dtype=np.int64))
+                     for index in indices]
+        query_embs = self._cache.embeddings[np.asarray(indices,
+                                                       dtype=np.int64)]
+        return self._screen_embeddings(query_embs, top_k, per_query,
+                                       symmetric, approx, approx_oversample)
 
     def screen_smiles(self, smiles: str, top_k: int = 5,
                       symmetric: bool = False,
-                      allow_unknown: bool = False) -> list[ScreenHit]:
+                      allow_unknown: bool = False,
+                      approx: bool = False,
+                      approx_oversample: int = 4) -> list[ScreenHit]:
         """Screen an *unregistered* SMILES against the catalog (transient).
 
         The query drug is embedded on the fly against the frozen context and
-        discarded — nothing is added to the catalog.
+        discarded — nothing is added to the catalog, and the cached
+        embedding table is never copied: the transient query rides the same
+        blockwise engine as catalog queries.
         """
         nodes = self._tokenize(smiles, allow_unknown)
         self._ensure_fresh()
@@ -401,16 +590,6 @@ class DDIScreeningService:
                 np.zeros(len(nodes), dtype=np.int64), 1).numpy()
         finally:
             model.train(was_training)
-        table = np.concatenate([self._cache.embeddings, query_emb], axis=0)
-        query_index = self.num_drugs
-        candidates = np.arange(self.num_drugs, dtype=np.int64)
-        pairs = np.stack([np.full_like(candidates, query_index), candidates],
-                         axis=1)
-        probs = self._model.predict_proba_from_embeddings(table, pairs)
-        self._cache.stats.pairs_scored += len(pairs)
-        if symmetric:
-            probs = 0.5 * (probs + self._model.predict_proba_from_embeddings(
-                table, pairs[:, ::-1]))
-            self._cache.stats.pairs_scored += len(pairs)
-        self._cache.stats.screens += 1
-        return self._rank(probs, top_k, exclude=set())
+        empty = np.zeros(0, dtype=np.int64)
+        return self._screen_embeddings(query_emb, top_k, [empty], symmetric,
+                                       approx, approx_oversample)[0]

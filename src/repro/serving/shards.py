@@ -1,0 +1,206 @@
+"""Sharded, blockwise catalog layout for million-drug screening.
+
+:class:`ShardedEmbeddingCatalog` partitions a catalog's embedding matrix —
+and the precomputed candidate-side decoder projections that ride with it —
+into ``S`` shards, each scored in fixed-size blocks.  A screening query runs
+per-shard streaming top-k (:class:`~repro.serving.topk.TopKAccumulator`)
+and a deterministic cross-shard merge (:func:`~repro.serving.topk.merge_top_k`),
+so results are bitwise-identical for every ``(num_shards, block_size,
+layout)`` choice: peak scoring memory is O(block + k) per shard, never
+O(catalog).
+
+The default layout splits rows into contiguous ranges, which keeps every
+shard a zero-copy view of the parent arrays.  An explicit ``layout`` (any
+partition of the row indices, e.g. hash-assignment) is supported for
+distribution experiments; those shards gather their rows once at build
+time — the same copy a per-worker deployment would hold locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .topk import TopKAccumulator, merge_top_k
+
+# score_block(embeddings_block, projections_block) -> (num_queries, block) scores
+ScoreBlockFn = Callable[[np.ndarray, dict[str, np.ndarray]], np.ndarray]
+
+
+@dataclass(frozen=True)
+class CatalogShard:
+    """One shard: global row ids + its slice of embeddings and projections."""
+
+    indices: np.ndarray                  # (m,) global catalog row ids
+    embeddings: np.ndarray               # (m, d) embedding rows
+    projections: dict[str, np.ndarray]   # per-key (m, ...) projection rows
+
+    @property
+    def num_drugs(self) -> int:
+        return len(self.indices)
+
+
+def _as_partition(layout: Sequence[np.ndarray], num_rows: int) -> list[np.ndarray]:
+    parts = [np.asarray(part, dtype=np.int64).reshape(-1) for part in layout]
+    if not parts:
+        raise ValueError("layout must contain at least one shard")
+    flat = (np.concatenate(parts) if parts else
+            np.zeros(0, dtype=np.int64))
+    if len(flat) != num_rows or not np.array_equal(np.sort(flat),
+                                                   np.arange(num_rows)):
+        raise ValueError(
+            f"layout must partition the {num_rows} catalog rows exactly once")
+    return parts
+
+
+class ShardedEmbeddingCatalog:
+    """Embeddings + candidate projections partitioned for blockwise top-k."""
+
+    def __init__(self, embeddings: np.ndarray,
+                 projections: dict[str, np.ndarray] | None = None,
+                 num_shards: int = 1, block_size: int = 1024,
+                 layout: Sequence[np.ndarray] | None = None):
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2:
+            raise ValueError("embeddings must be a (num_drugs, dim) matrix")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        projections = dict(projections or {})
+        for name, matrix in projections.items():
+            if len(matrix) != len(embeddings):
+                raise ValueError(
+                    f"projection {name!r} has {len(matrix)} rows for "
+                    f"{len(embeddings)} catalog drugs")
+        num_rows = len(embeddings)
+        if layout is None:
+            if num_shards < 1:
+                raise ValueError("num_shards must be >= 1")
+            chunks = np.array_split(np.arange(num_rows, dtype=np.int64),
+                                    num_shards)
+            # Contiguous ranges -> every shard is a zero-copy view.
+            shards = []
+            for chunk in chunks:
+                if not len(chunk):
+                    continue
+                lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+                shards.append(CatalogShard(
+                    indices=chunk,
+                    embeddings=embeddings[lo:hi],
+                    projections={k: v[lo:hi]
+                                 for k, v in projections.items()}))
+        else:
+            shards = [CatalogShard(indices=part,
+                                   embeddings=embeddings[part],
+                                   projections={k: v[part]
+                                                for k, v in projections.items()})
+                      for part in _as_partition(layout, num_rows)
+                      if len(part)]
+        self._embeddings = embeddings
+        self._projections = projections
+        self._shards = shards
+        self.block_size = block_size
+
+    # ------------------------------------------------------------------
+    @property
+    def num_drugs(self) -> int:
+        return len(self._embeddings)
+
+    @property
+    def num_shards(self) -> int:
+        return len(self._shards)
+
+    @property
+    def shards(self) -> list[CatalogShard]:
+        return list(self._shards)
+
+    @property
+    def projections(self) -> dict[str, np.ndarray]:
+        return dict(self._projections)
+
+    def rows(self, indices: np.ndarray) -> tuple[np.ndarray,
+                                                 dict[str, np.ndarray]]:
+        """Gather ``(embeddings, projections)`` rows by global catalog index."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return (self._embeddings[indices],
+                {k: v[indices] for k, v in self._projections.items()})
+
+    def iter_blocks(self, shard: CatalogShard) -> Iterator[
+            tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]]:
+        """Yield ``(global_indices, embeddings, projections)`` scoring blocks."""
+        for start in range(0, shard.num_drugs, self.block_size):
+            stop = start + self.block_size
+            yield (shard.indices[start:stop],
+                   shard.embeddings[start:stop],
+                   {k: v[start:stop] for k, v in shard.projections.items()})
+
+    # ------------------------------------------------------------------
+    def screen(self, score_block: ScoreBlockFn, num_queries: int, top_k: int,
+               exclude: Sequence[np.ndarray] | np.ndarray | None = None,
+               ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Blockwise per-shard top-k + deterministic merge, per query.
+
+        ``score_block`` maps one ``(embeddings, projections)`` block to a
+        ``(num_queries, block)`` score matrix; it is invoked once per block
+        for the whole query batch.  ``exclude`` is either one global-index
+        array applied to every query or a per-query sequence of arrays.
+        Returns one ``(indices, scores)`` pair per query, sorted by
+        (score desc, index asc), excluded rows removed; fewer than ``top_k``
+        entries come back when the catalog has fewer eligible candidates.
+
+        Exclusions are applied *after* selection: each accumulator keeps
+        ``top_k + len(exclude)`` candidates, so the excluded rows — at most
+        that many — can never displace an eligible one.  That keeps the
+        per-block work free of membership tests, and is exactly equivalent
+        to masking candidates up front.
+        """
+        excludes = self._normalize_exclude(exclude, num_queries)
+        padded = [top_k + e.size if top_k > 0 else 0 for e in excludes]
+        per_shard: list[list[tuple[np.ndarray, np.ndarray]]] = []
+        for shard in self._shards:
+            accumulators = [TopKAccumulator(k) for k in padded]
+            for indices, emb_block, proj_block in self.iter_blocks(shard):
+                scores = np.atleast_2d(np.asarray(
+                    score_block(emb_block, proj_block), dtype=np.float64))
+                if scores.shape != (num_queries, len(indices)):
+                    raise ValueError(
+                        f"score_block returned shape {scores.shape}; "
+                        f"expected ({num_queries}, {len(indices)})")
+                for qi in range(num_queries):
+                    accumulators[qi].update(scores[qi], indices)
+            per_shard.append([acc.result() for acc in accumulators])
+        results = []
+        for qi in range(num_queries):
+            if len(per_shard) == 1:
+                indices, scores = per_shard[0][qi]
+            else:
+                indices, scores = merge_top_k([res[qi] for res in per_shard],
+                                              padded[qi])
+            if excludes[qi].size:
+                # Tiny membership test ((padded, E) broadcast) — np.isin's
+                # dispatch overhead dwarfs the actual work at these sizes.
+                keep = ~(indices[:, None] == excludes[qi][None, :]).any(axis=1)
+                indices, scores = indices[keep], scores[keep]
+            results.append((indices[:top_k], scores[:top_k]))
+        return results
+
+    @staticmethod
+    def _normalize_exclude(exclude, num_queries: int) -> list[np.ndarray]:
+        empty = np.zeros(0, dtype=np.int64)
+        if exclude is None:
+            return [empty] * num_queries
+        # A flat collection of integers is one shared exclusion set; only a
+        # collection of *array-likes* is per-query.  Deciding by element
+        # type (not length) keeps `exclude=[3, 5]` meaning "rows 3 and 5,
+        # every query" even when the list length equals num_queries.
+        if isinstance(exclude, (list, tuple)) and any(
+                not isinstance(e, (int, np.integer)) for e in exclude):
+            if len(exclude) != num_queries:
+                raise ValueError(
+                    f"per-query exclude has {len(exclude)} entries for "
+                    f"{num_queries} queries")
+            return [np.asarray(e, dtype=np.int64).reshape(-1)
+                    for e in exclude]
+        shared = np.asarray(exclude, dtype=np.int64).reshape(-1)
+        return [shared] * num_queries

@@ -1,0 +1,137 @@
+"""Deterministic streaming top-k selection for catalog screening.
+
+The screening engine ranks candidates by ``(score descending, index
+ascending)`` — exactly the order ``np.argsort(-scores, kind="stable")``
+produces, but without ever sorting (or even holding) the full catalog's
+scores.  Three pieces:
+
+- :func:`top_k_desc`: ``np.argpartition``-based top-k over one array,
+  O(n + k log k) instead of the O(n log n) full stable argsort, with
+  tie-handling bitwise-identical to the stable sort (ties at the selection
+  boundary are resolved by ascending index, the same entries the stable
+  argsort's first ``k`` slots would contain).
+- :class:`TopKAccumulator`: streaming selection over score blocks.  Peak
+  state is O(k); each ``update`` costs O(block + k log k).  Because
+  ``(score, index)`` is a *total* order (indices are unique), streaming
+  selection is exact — the result is independent of how the catalog was
+  split into blocks.
+- :func:`merge_top_k`: deterministic merge of per-shard top-k results under
+  the same total order, so a sharded catalog returns bitwise-identical
+  rankings for every shard layout.
+
+Scores may contain ``-inf`` as an exclusion sentinel (excluded candidates
+can then only surface when fewer than ``k`` valid candidates exist; callers
+filter them).  NaN scores are not supported.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def top_k_set(scores: np.ndarray, k: int) -> np.ndarray:
+    """The (unordered) index set of the ``k`` largest scores, exact on ties.
+
+    Membership under the (score desc, index asc) total order is unique, so
+    the *set* can be found in O(n) without ordering it; :func:`top_k_desc`
+    adds the O(k log k) ordering pass.  Returned indices are in no
+    particular order.
+    """
+    scores = np.asarray(scores)
+    n = scores.shape[0]
+    if k <= 0 or n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if k >= n:
+        return np.arange(n, dtype=np.int64)
+    # k largest values (tie membership at the boundary is arbitrary here);
+    # partitioning ascending on the original array avoids negating it.
+    part = np.argpartition(scores, n - k)[n - k:]
+    pivot = scores[part].min()
+    # Entries strictly above the pivot always make the cut; the remaining
+    # slots go to pivot-valued entries in ascending-index order — exactly
+    # the ones a stable argsort would have placed in its first k slots.
+    sure = np.flatnonzero(scores > pivot)
+    tied = np.flatnonzero(scores == pivot)[:k - sure.size]
+    return np.concatenate([sure, tied]).astype(np.int64, copy=False)
+
+
+def top_k_desc(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, ordered like a stable argsort.
+
+    Equivalent to ``np.argsort(-scores, kind="stable")[:k]`` — descending
+    score, ties broken by ascending index — but selection-based: O(n) to
+    find the boundary, O(k log k) to order the winners.
+    """
+    scores = np.asarray(scores)
+    cand = top_k_set(scores, k)
+    order = cand[np.lexsort((cand, -scores[cand]))]
+    return order.astype(np.int64, copy=False)
+
+
+class TopKAccumulator:
+    """Running top-k of ``(score, index)`` pairs fed in arbitrary blocks.
+
+    The selection order is total (score descending, unique index ascending),
+    so the final result is independent of blocking — feeding the catalog in
+    one block or one element at a time yields identical output.  The running
+    candidate set is kept *unordered* (membership under a total order is
+    unique, so ordering can wait): each update is O(block + k) selection,
+    and the single O(k log k) sort happens in :meth:`result`.
+    """
+
+    def __init__(self, k: int):
+        self.k = k
+        self.indices = np.zeros(0, dtype=np.int64)
+        self.scores = np.zeros(0, dtype=np.float64)
+
+    def update(self, scores: np.ndarray, indices: np.ndarray) -> None:
+        """Fold one block of ``(scores, global indices)`` into the running top-k."""
+        if self.k <= 0 or len(scores) == 0:
+            return
+        scores = np.asarray(scores, dtype=np.float64)
+        indices = np.asarray(indices, dtype=np.int64)
+        # top_k_set breaks boundary ties by *position*; when the block's
+        # global indices are not ascending (permuted shard layouts), order
+        # the block by index first so positional ties coincide with the
+        # (score desc, index asc) total order.  Contiguous layouts feed
+        # ascending indices and skip the sort.
+        if indices.size > 1 and not np.all(indices[1:] > indices[:-1]):
+            by_index = np.argsort(indices)
+            local = by_index[top_k_set(scores[by_index], self.k)]
+        else:
+            local = top_k_set(scores, self.k)
+        merged_idx = np.concatenate([self.indices, indices[local]])
+        merged_sc = np.concatenate([self.scores, scores[local]])
+        if len(merged_idx) > self.k:
+            # top_k_set breaks boundary ties by *position*; arranging the
+            # pool index-ascending first makes positional ties coincide
+            # with the global (score, index) total order.
+            pool = merged_idx.argsort()
+            keep = pool[top_k_set(merged_sc[pool], self.k)]
+            merged_idx = merged_idx[keep]
+            merged_sc = merged_sc[keep]
+        self.indices = merged_idx
+        self.scores = merged_sc
+
+    def result(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, scores)`` sorted by (score desc, index asc)."""
+        order = np.lexsort((self.indices, -self.scores))
+        return self.indices[order], self.scores[order]
+
+
+def merge_top_k(results: list[tuple[np.ndarray, np.ndarray]],
+                k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Deterministically merge per-shard ``(indices, scores)`` top-k lists.
+
+    Under the (score desc, index asc) total order the merge of per-shard
+    winners equals the global top-k, for every partition of the catalog
+    into shards.
+    """
+    if not results:
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+    indices = np.concatenate([np.asarray(i, dtype=np.int64)
+                              for i, _ in results])
+    scores = np.concatenate([np.asarray(s, dtype=np.float64)
+                             for _, s in results])
+    keep = np.lexsort((indices, -scores))[:max(k, 0)]
+    return indices[keep], scores[keep]

@@ -210,3 +210,45 @@ def test_partition_identity_order_for_sorted_ids():
     assert partition.order is None  # sorted input needs no gather
     shuffled = SegmentPartition(np.array([2, 0, 1, 0, 2]), 3)
     assert shuffled.order is not None
+
+
+# ---------------------------------------------------------------------------
+# Streaming top-k invariants (serving engine)
+# ---------------------------------------------------------------------------
+
+topk_cases = st.tuples(
+    st.lists(st.integers(min_value=-50, max_value=50), min_size=0,
+             max_size=120),                      # quantized scores (many ties)
+    st.integers(min_value=0, max_value=130),     # k
+    st.integers(min_value=1, max_value=40),      # block size
+    st.integers(min_value=1, max_value=6),       # shard count
+    st.integers(min_value=0, max_value=2 ** 31 - 1))
+
+
+@settings(max_examples=80, deadline=None)
+@given(topk_cases)
+def test_streaming_sharded_topk_matches_stable_argsort(case):
+    """Blocked + sharded selection equals the full stable argsort prefix,
+    for any block size and any shard layout — the serving engine's
+    exact-mode determinism contract."""
+    from repro.serving import TopKAccumulator, merge_top_k, top_k_desc
+
+    raw, k, block, num_shards, seed = case
+    scores = np.asarray(raw, dtype=np.float64) / 7.0
+    n = scores.size
+    expected = np.argsort(-scores, kind="stable")[:k]
+
+    np.testing.assert_array_equal(top_k_desc(scores, k), expected)
+
+    layout = np.array_split(np.random.default_rng(seed).permutation(n),
+                            num_shards)
+    shard_results = []
+    for part in layout:
+        acc = TopKAccumulator(k)
+        for start in range(0, part.size, block):
+            chunk = part[start:start + block]
+            acc.update(scores[chunk], chunk)
+        shard_results.append(acc.result())
+    merged_idx, merged_sc = merge_top_k(shard_results, k)
+    np.testing.assert_array_equal(merged_idx, expected)
+    np.testing.assert_array_equal(merged_sc, scores[expected])

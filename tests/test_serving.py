@@ -248,6 +248,24 @@ class TestScreening:
         assert service.screen(0, top_k=0) == []
         assert service.screen(0, top_k=-3) == []
 
+    def test_screen_independent_of_engine_layout(self, setup, service):
+        """Block size and shard count are execution details, not semantics."""
+        corpus, _, model, _, builder = setup
+        tiled = DDIScreeningService(model, builder, corpus, block_size=3,
+                                    num_shards=4)
+        for query in (0, 13):
+            expected = [(h.index, h.probability)
+                        for h in service.screen(query, top_k=7)]
+            assert [(h.index, h.probability)
+                    for h in tiled.screen(query, top_k=7)] == expected
+
+    def test_screen_batch_matches_screen(self, service):
+        batched = service.screen_batch(["drug_3", 8], top_k=4)
+        for query, hits in zip([3, 8], batched):
+            assert [(h.index, h.probability) for h in hits] == \
+                [(h.index, h.probability)
+                 for h in service.screen(query, top_k=4)]
+
     def test_symmetric_screening_averages_orders(self, setup, service):
         corpus, _, _, _, _ = setup
         asym = {h.index: h.probability for h in
