@@ -284,6 +284,49 @@ class DotDecoder(_ScratchMixin, Module):
         return (cand_proj["emb"] @ query_proj["emb"].T).T
 
 
+class _PicklableKernel(_ScratchMixin):
+    """Weight-free screening kernel, safe to ship to worker processes.
+
+    ``score_block`` / ``prefilter_block`` read **only** the precomputed
+    query- and candidate-side projections handed to them — never live
+    decoder weights — so a kernel owns no state beyond reusable scratch
+    buffers.  Pickling drops the scratch (workers rebuild it lazily),
+    which keeps the payload sent per screening task a few bytes.
+
+    The ``score_block`` implementations are the *same function objects*
+    as the decoders' (assigned, not reimplemented), so a worker scoring a
+    memory-mapped shard is bitwise-identical to the in-process engine.
+    """
+
+    def __getstate__(self) -> dict:
+        return {}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+
+
+class MLPScreenKernel(_PicklableKernel):
+    is_symmetric = MLPDecoder.is_symmetric
+    supports_prefilter = MLPDecoder.supports_prefilter
+    score_block = MLPDecoder.score_block
+
+
+class DotScreenKernel(_PicklableKernel):
+    is_symmetric = DotDecoder.is_symmetric
+    supports_prefilter = DotDecoder.supports_prefilter
+    score_block = DotDecoder.score_block
+    prefilter_block = DotDecoder.prefilter_block
+
+
+def make_screen_kernel(decoder: Module) -> _PicklableKernel:
+    """The picklable screening kernel matching ``decoder``'s scoring math."""
+    if isinstance(decoder, MLPDecoder):
+        return MLPScreenKernel()
+    if isinstance(decoder, DotDecoder):
+        return DotScreenKernel()
+    raise TypeError(f"no screening kernel for {type(decoder).__name__}")
+
+
 def make_decoder(kind: str, embed_dim: int, hidden_dim: int,
                  rng: np.random.Generator) -> Module:
     """Factory for the two decoder types compared throughout Sec. IV."""

@@ -12,8 +12,10 @@ catalog sizes.
 
 from .cache import (FINGERPRINT_MODES, EmbeddingCache, ServiceStats,
                     weights_fingerprint)
+from .executor import ParallelShardExecutor, exact_score_fn
 from .service import DDIScreeningService, ScreenHit
 from .shards import CatalogShard, ShardedEmbeddingCatalog
+from .store import MappedShardCatalog, ShardStore
 from .topk import TopKAccumulator, merge_top_k, top_k_desc
 
 __all__ = [
@@ -21,5 +23,7 @@ __all__ = [
     "EmbeddingCache", "ServiceStats", "weights_fingerprint",
     "FINGERPRINT_MODES",
     "ShardedEmbeddingCatalog", "CatalogShard",
+    "ShardStore", "MappedShardCatalog",
+    "ParallelShardExecutor", "exact_score_fn",
     "TopKAccumulator", "merge_top_k", "top_k_desc",
 ]

@@ -22,6 +22,7 @@ Two fingerprint modes are available:
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -96,18 +97,34 @@ def weights_fingerprint(model: Module, mode: str = "fast",
 
 @dataclass
 class ServiceStats:
-    """Observability counters for one :class:`DDIScreeningService`."""
+    """Observability counters for one :class:`DDIScreeningService`.
+
+    ``pairs_scored`` counts *exact* decoder evaluations only; approximate
+    screening charges its shortlist scan to ``prefilter_pairs`` (one cheap
+    inner-product comparison per candidate) and only the exact rescores of
+    the surviving shortlist to ``pairs_scored``.
+    """
 
     corpus_encodes: int = 0        # full catalog-context rebuilds
     incremental_encodes: int = 0   # drugs embedded without a rebuild
     cache_hits: int = 0            # queries answered from cached embeddings
     invalidations: int = 0         # caches dropped (stale weights / explicit)
     cache_loads: int = 0           # warm restarts from a persisted cache
-    pairs_scored: int = 0
+    pairs_scored: int = 0          # exact decoder pair evaluations
+    prefilter_pairs: int = 0       # approximate-mode prefilter comparisons
     screens: int = 0
+    parallel_screens: int = 0      # queries answered by the process pool
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+
+# Cache versions are allocated from one process-wide monotonic counter, so a
+# version number is never reused — not across mutations of one cache, and not
+# across cache *instances* (a snapshot loaded over a warm service must never
+# collide with a version the previous cache object already handed out, or
+# derived structures keyed on the version would serve stale data).
+_VERSION_COUNTER = itertools.count(1)
 
 
 @dataclass
@@ -117,9 +134,11 @@ class EmbeddingCache:
     Alongside the raw embeddings the cache can hold the *candidate-side
     decoder projections* (``decoder.candidate_projections``), the per-
     (weights, catalog) precompute that makes screening queries one
-    broadcast-add instead of a catalog-sized GEMM.  ``version`` increments
-    on every content change so derived structures (the service's sharded
-    catalog) know when to rebuild.
+    broadcast-add instead of a catalog-sized GEMM.  ``version`` is a
+    globally unique token reassigned on every content change (from
+    ``_VERSION_COUNTER``) so derived structures (the service's sharded
+    catalog, an open shard store) know when to rebuild — and can never
+    confuse two caches' states, even across :meth:`load` round-trips.
     """
 
     fingerprint: tuple | None = None
@@ -127,7 +146,8 @@ class EmbeddingCache:
     embeddings: np.ndarray | None = None  # (num_catalog_drugs, hidden_dim)
     projections: dict[str, np.ndarray] | None = None  # candidate precompute
     catalog_digest: str | None = None     # set by save()/load() snapshots
-    version: int = 0                      # bumped on install/append/drop
+    shard_manifest: str | None = None     # shard-store manifest path, if any
+    version: int = 0                      # globally unique content token
     stats: ServiceStats = field(default_factory=ServiceStats)
 
     @property
@@ -144,7 +164,7 @@ class EmbeddingCache:
         self.context = None
         self.embeddings = None
         self.projections = None
-        self.version += 1
+        self.version = next(_VERSION_COUNTER)
 
     def install(self, fingerprint: tuple, context: EncoderContext,
                 embeddings: np.ndarray,
@@ -153,7 +173,7 @@ class EmbeddingCache:
         self.context = context
         self.embeddings = embeddings
         self.projections = projections
-        self.version += 1
+        self.version = next(_VERSION_COUNTER)
         self.stats.corpus_encodes += 1
 
     def append_rows(self, rows: np.ndarray,
@@ -176,7 +196,7 @@ class EmbeddingCache:
                            else np.concatenate([matrix, projections[name]],
                                                axis=0))
                     for name, matrix in self.projections.items()}
-        self.version += 1
+        self.version = next(_VERSION_COUNTER)
         self.stats.incremental_encodes += len(rows)
 
     def ensure_projections(self, decoder) -> dict[str, np.ndarray]:
@@ -190,7 +210,7 @@ class EmbeddingCache:
             raise RuntimeError("cannot project an invalid cache")
         if self.projections is None:
             self.projections = decoder.candidate_projections(self.embeddings)
-            self.version += 1
+            self.version = next(_VERSION_COUNTER)
         return self.projections
 
     # ------------------------------------------------------------------
@@ -221,6 +241,10 @@ class EmbeddingCache:
                 else (self.catalog_digest or "")),
             "embeddings": self.embeddings,
             "num_context_layers": np.asarray(self.context.num_layers),
+            # Shard-store manifest path (out-of-core tier), if one was
+            # written for this cache's contents — lets a warm restart
+            # reattach the memory-mapped shards automatically.
+            "shard_manifest": np.asarray(self.shard_manifest or ""),
         }
         for index, layer in enumerate(self.context.layer_node_feats):
             arrays[f"context_layer_{index}"] = layer.data
@@ -251,6 +275,8 @@ class EmbeddingCache:
                 Tensor(archive[f"context_layer_{index}"])
                 for index in range(num_layers)))
             embeddings = archive["embeddings"]
+            manifest = (str(archive["shard_manifest"])
+                        if "shard_manifest" in archive.files else "")
             projections = None
             if "projection_names" in archive.files:
                 aliases = (set(str(a) for a in archive["projection_aliases"])
@@ -264,4 +290,9 @@ class EmbeddingCache:
         cache.embeddings = embeddings
         cache.projections = projections
         cache.catalog_digest = digest or None
+        cache.shard_manifest = manifest or None
+        # A loaded snapshot is new content as far as derived structures are
+        # concerned: give it a fresh globally unique version so it can never
+        # collide with a version an earlier cache object handed out.
+        cache.version = next(_VERSION_COUNTER)
         return cache

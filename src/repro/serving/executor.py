@@ -1,0 +1,167 @@
+"""Multi-process shard executor for the screening engine.
+
+:class:`ParallelShardExecutor` fans the per-shard streaming top-k of a
+persisted catalog (:class:`~repro.serving.store.ShardStore`) out to a
+process pool and reduces the per-shard winners with the engine's
+deterministic cross-shard merge.  The design keeps the parallel plan
+bitwise-identical to the serial in-memory engine:
+
+- Workers never receive catalog arrays.  The pool initializer hands each
+  worker the *manifest path*; a worker assigned shard *i* memory-maps
+  shard *i*'s files itself (``np.load(..., mmap_mode="r")``).  The only
+  per-task payload is the picklable weight-free screening kernel
+  (:func:`repro.core.decoder.make_screen_kernel`), the query-side
+  projections (a few rows), and the per-query padded-k budget — a few
+  kilobytes per screen.
+- Every worker runs :func:`repro.serving.shards.screen_shard` — the same
+  function the serial engine runs over its in-memory views — so per-shard
+  results are bitwise-equal by construction, and the parent's
+  :func:`~repro.serving.shards.finalize_screen` reduce (merge under the
+  total (score desc, index asc) order, exclusion filter, truncate) is the
+  same code in both plans.  ``Pool.map`` preserves shard order, so the
+  merge sees shards in exactly the serial order.
+
+The pool prefers the ``fork`` start method when the platform offers it
+(workers inherit the imported interpreter; startup is milliseconds) and
+falls back to the default (``spawn``) elsewhere — everything shipped to
+workers is module-level and picklable either way.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from pathlib import Path
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..nn.functional import stable_sigmoid
+from .shards import finalize_screen, normalize_exclude, screen_shard
+from .store import ShardStore
+
+
+def exact_score_fn(kernel, query_proj: dict,
+                   two_sided: bool = False) -> Callable:
+    """The exact-mode probability kernel, shared by every execution plan.
+
+    Serial in-memory screening, serial screening over a memory-mapped
+    catalog, and pool workers all build their ``score_block`` callback
+    here, from the same kernel object type — which is what makes their
+    scores bitwise-comparable.
+    """
+    def exact_probs(_emb_block, proj_block):
+        probs = stable_sigmoid(kernel.score_block(query_proj, proj_block))
+        if two_sided:
+            probs = 0.5 * (probs + stable_sigmoid(
+                kernel.score_block(query_proj, proj_block, reverse=True)))
+        return probs
+    return exact_probs
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery (module-level for picklability under spawn).
+# ---------------------------------------------------------------------------
+_WORKER_STORE: ShardStore | None = None
+
+
+def _init_worker(manifest_path: str, mmap_mode: str | None) -> None:
+    """Pool initializer: open the shard store once per worker process."""
+    global _WORKER_STORE
+    _WORKER_STORE = ShardStore(manifest_path, mmap_mode=mmap_mode)
+
+
+def _screen_shard_task(task: tuple) -> list[tuple[np.ndarray, np.ndarray]]:
+    """One unit of pool work: stream one memory-mapped shard's top-k."""
+    shard_id, block_size, kernel, query_proj, two_sided, num_queries, \
+        padded = task
+    shard = _WORKER_STORE.open_shard(shard_id)
+    score = exact_score_fn(kernel, query_proj, two_sided)
+    return screen_shard(shard, block_size, score, num_queries, padded)
+
+
+class ParallelShardExecutor:
+    """Process-pool fan-out over the shards of one :class:`ShardStore`.
+
+    The pool is created lazily on the first :meth:`screen` and reused —
+    worker startup and the per-worker store open are paid once, not per
+    query.  Call :meth:`close` (or use the executor as a context manager)
+    to release the workers; the executor can be reused afterwards (a new
+    pool spins up on demand).
+    """
+
+    def __init__(self, store: ShardStore | str | Path,
+                 num_workers: int | None = None,
+                 mmap_mode: str | None = "r",
+                 start_method: str | None = None):
+        if not isinstance(store, ShardStore):
+            store = ShardStore(store, mmap_mode=mmap_mode)
+        if num_workers is None:
+            num_workers = min(os.cpu_count() or 1, store.num_shards)
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        self._store = store
+        self.num_workers = num_workers
+        self._mmap_mode = mmap_mode
+        self._start_method = start_method
+        self._pool = None
+
+    @property
+    def store(self) -> ShardStore:
+        return self._store
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            methods = mp.get_all_start_methods()
+            method = self._start_method or (
+                "fork" if "fork" in methods else None)
+            ctx = mp.get_context(method)
+            self._pool = ctx.Pool(
+                processes=min(self.num_workers, self._store.num_shards),
+                initializer=_init_worker,
+                initargs=(str(self._store.path), self._mmap_mode))
+        return self._pool
+
+    def screen(self, kernel, query_proj: dict, num_queries: int, top_k: int,
+               block_size: int | None = None,
+               exclude: Sequence[np.ndarray] | np.ndarray | None = None,
+               two_sided: bool = False
+               ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Parallel exact-mode screen; bitwise-equal to the serial engine.
+
+        Same contract as :meth:`ShardedEmbeddingCatalog.screen`: one
+        ``(indices, probabilities)`` pair per query, sorted by
+        (probability desc, index asc), exclusions removed.
+        """
+        block_size = block_size or self._store.block_size
+        excludes = normalize_exclude(exclude, num_queries)
+        padded = [top_k + e.size if top_k > 0 else 0 for e in excludes]
+        tasks = [(shard_id, block_size, kernel, query_proj, two_sided,
+                  num_queries, padded)
+                 for shard_id in range(self._store.num_shards)]
+        per_shard = self._ensure_pool().map(_screen_shard_task, tasks)
+        return finalize_screen(per_shard, padded, excludes, top_k)
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __del__(self):
+        # Best-effort cleanup if close() was never called; terminate (not
+        # join) because __del__ may run at interpreter shutdown.
+        pool = getattr(self, "_pool", None)
+        if pool is not None:
+            try:
+                pool.terminate()
+            except Exception:
+                pass

@@ -33,14 +33,16 @@ from pathlib import Path
 
 import numpy as np
 
+from ..core.decoder import make_screen_kernel
 from ..core.encoder import EncoderContext
 from ..core.model import HyGNN
 from ..core.serialize import load_model
 from ..hypergraph import DrugHypergraphBuilder, Hypergraph
 from ..nn import Tensor
-from ..nn.functional import stable_sigmoid
 from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
+from .executor import ParallelShardExecutor, exact_score_fn
 from .shards import ShardedEmbeddingCatalog
+from .store import ShardStore
 
 
 @dataclass(frozen=True)
@@ -61,6 +63,17 @@ class DDIScreeningService:
     ``num_shards`` shards with per-shard top-k and a deterministic merge.
     Exact-mode screening scores are bitwise-identical for every choice of
     both knobs.
+
+    Two out-of-core/parallel extensions ride on that layout, both exactly
+    as deterministic: :meth:`save_shards` persists the shards (embedding
+    rows + precomputed projections) as raw ``.npy`` files plus a JSON
+    manifest, and :meth:`open_shards` reattaches them memory-mapped, so
+    screening streams candidate blocks from disk instead of holding the
+    catalog-sized working set in RAM; with ``num_workers > 1`` exact-mode
+    screens additionally fan per-shard top-k out to a process pool whose
+    workers open shards by manifest path.  All plans — serial in-memory,
+    serial memory-mapped, multi-process — return bitwise-identical
+    ``(indices, probabilities)``.
     """
 
     def __init__(self, model: HyGNN, builder: DrugHypergraphBuilder,
@@ -69,13 +82,16 @@ class DDIScreeningService:
                  auto_refresh: bool = True,
                  fingerprint_mode: str = "fast",
                  block_size: int = 1024,
-                 num_shards: int = 1):
+                 num_shards: int = 1,
+                 num_workers: int = 0):
         if not catalog_smiles:
             raise ValueError("catalog must contain at least one drug")
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0")
         vocab = builder.vocabulary  # raises if the builder is unfitted
         if len(vocab) != model.encoder.num_substructures:
             raise ValueError(
@@ -106,10 +122,24 @@ class DDIScreeningService:
         self._cache = EmbeddingCache()
         self.block_size = block_size
         self.num_shards = num_shards
+        # Pool size for parallel shard execution (0/1 = in-process); only
+        # takes effect while a shard store is attached (see open_shards).
+        self.num_workers = num_workers
         # Sharded catalog derived from the cache; rebuilt when the cache
-        # version (or either knob) changes.
+        # version (or either knob) changes.  Versions are globally unique
+        # (never reused across cache instances), so the key alone decides
+        # staleness — including after load_cache swaps the cache object.
         self._catalog_engine: ShardedEmbeddingCatalog | None = None
         self._catalog_key: tuple | None = None
+        # Out-of-core tier: an attached memory-mapped shard store, the
+        # cache version its arrays were validated against, and the lazy
+        # process-pool executor over it.
+        self._store: ShardStore | None = None
+        self._store_version: int | None = None
+        self._executor: ParallelShardExecutor | None = None
+        # Picklable weight-free screening kernel (scores from projections
+        # only); shared by the serial engine and pool workers.
+        self._screen_kernel = None
         # Sorted drug-id table for vectorized id -> index lookups; rebuilt
         # lazily after registrations.
         self._id_table: tuple[np.ndarray, np.ndarray] | None = None
@@ -232,12 +262,138 @@ class DDIScreeningService:
             return False
         loaded.stats = self._cache.stats
         self._cache = loaded
-        # The snapshot is a fresh cache object with its own version counter;
-        # drop any catalog derived from the previous one.
+        # No explicit engine invalidation needed: cache versions are
+        # globally unique, so the memoized catalog's key can never match
+        # the freshly loaded cache and the next query rebuilds.
+        self._cache.stats.cache_loads += 1
+        if self._cache.shard_manifest:
+            # The snapshot was saved with an out-of-core shard store next
+            # to it; reattach best-effort (validated against the current
+            # weights and catalog like any open_shards call).
+            self.open_shards(self._cache.shard_manifest)
+        return True
+
+    # ------------------------------------------------------------------
+    # Out-of-core shard store + parallel execution
+    # ------------------------------------------------------------------
+    def save_shards(self, path: str | Path, num_shards: int | None = None,
+                    block_size: int | None = None) -> Path:
+        """Persist the sharded catalog as an out-of-core store; see
+        :class:`~repro.serving.store.ShardStore`.
+
+        Writes each shard's embedding rows and precomputed candidate
+        projections as raw ``.npy`` files under directory ``path``, plus a
+        JSON manifest carrying the weight fingerprint and catalog digest.
+        Returns the manifest path (pass it — or the directory — to
+        :meth:`open_shards`, possibly from a different process or host).
+        The manifest location is remembered on the cache, so a subsequent
+        :meth:`save_cache`/:meth:`load_cache` round-trip reattaches the
+        store automatically.
+        """
+        self._ensure_fresh()
+        projections = self._cache.ensure_projections(self._model.decoder)
+        manifest = ShardStore.save(
+            path, self._cache.embeddings, projections,
+            num_shards=num_shards or self.num_shards,
+            block_size=block_size or self.block_size,
+            fingerprint=self._fingerprint(),
+            catalog_digest=self._catalog_digest())
+        self._cache.shard_manifest = str(manifest)
+        return manifest
+
+    def open_shards(self, path: str | Path,
+                    num_workers: int | None = None,
+                    strict: bool = False,
+                    mmap_mode: str | None = "r") -> bool:
+        """Attach a :meth:`save_shards` store memory-mapped; True on success.
+
+        The store is attached only if its manifest reads cleanly, its
+        fingerprint matches the *current* model weights, and its catalog
+        digest matches this service's exact drug list — otherwise it is
+        ignored (or, with ``strict=True``, the error is raised).  While
+        attached, exact-mode screening streams candidate blocks from the
+        mapped files (O(block + k) heap) instead of in-memory arrays, and
+        — when ``num_workers`` (here or on the constructor) is > 1 — fans
+        per-shard top-k out to a process pool.  Results stay bitwise-
+        identical to the in-memory engine.  A weight update or drug
+        registration detaches the store on the next query (the disk arrays
+        no longer describe the cache) and screening falls back in-memory.
+        """
+        try:
+            store = ShardStore(path, mmap_mode=mmap_mode)
+        except (OSError, ValueError, KeyError):
+            if strict:
+                raise
+            return False
+        self._ensure_fresh()
+        if store.fingerprint != self._fingerprint():
+            if strict:
+                raise ValueError("shard store fingerprint does not match "
+                                 "the current model weights")
+            return False
+        if store.catalog_digest != self._catalog_digest():
+            if strict:
+                raise ValueError("shard store was saved for a different "
+                                 "drug catalog")
+            return False
+        if store.num_drugs != self.num_drugs:
+            if strict:
+                raise ValueError(
+                    f"shard store covers {store.num_drugs} drugs; this "
+                    f"service has {self.num_drugs}")
+            return False
+        self._detach_store()
+        self._store = store
+        self._store_version = self._cache.version
+        # The store now serves the candidate side, so the in-memory copy of
+        # the dominant working set — the precomputed projections, ~4x the
+        # embedding matrix for the MLP decoder — is redundant: release it.
+        # (Assigned directly, NOT via a version bump: the cache content the
+        # store was validated against is unchanged.  If the store detaches
+        # later, ensure_projections recomputes lazily.)  The embeddings and
+        # encoder context stay resident — queries and registrations need
+        # them — so the service's floor is O(N·d), not O(N·d·5).
+        self._cache.projections = None
+        if num_workers is not None:
+            if num_workers < 0:
+                raise ValueError("num_workers must be >= 0")
+            self.num_workers = num_workers
+        self._cache.shard_manifest = str(store.path)
+        return True
+
+    def _detach_store(self) -> None:
+        self._store = None
+        self._store_version = None
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
         self._catalog_engine = None
         self._catalog_key = None
-        self._cache.stats.cache_loads += 1
-        return True
+
+    def _sync_store(self) -> None:
+        """Drop the attached store if the cache has moved past it."""
+        if (self._store is not None
+                and self._store_version != self._cache.version):
+            self._detach_store()
+
+    def _get_executor(self) -> ParallelShardExecutor:
+        if self._executor is None:
+            self._executor = ParallelShardExecutor(
+                self._store, num_workers=self.num_workers)
+        return self._executor
+
+    def close(self) -> None:
+        """Release the worker pool, if any; the service stays usable."""
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+
+    def __enter__(self) -> "DDIScreeningService":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def _fingerprint(self) -> tuple:
         if self._param_list is None:
@@ -419,7 +575,20 @@ class DDIScreeningService:
     # probabilities — is gone: ranking now happens inside the streaming
     # top-k selection, which reproduces its ordering, ties included.)
     def _catalog(self) -> ShardedEmbeddingCatalog:
-        """The sharded catalog for the current cache contents (memoized)."""
+        """The screening catalog for the current cache contents (memoized).
+
+        With a shard store attached (and still describing the cache), this
+        is the memory-mapped catalog; otherwise the in-memory one.  Keys
+        embed the cache's globally unique version, so a rebuilt, appended,
+        or freshly loaded cache can never be served a stale engine.
+        """
+        self._sync_store()
+        if self._store is not None:
+            key = ("store", id(self._store), self.block_size)
+            if self._catalog_engine is None or self._catalog_key != key:
+                self._catalog_engine = self._store.catalog(self.block_size)
+                self._catalog_key = key
+            return self._catalog_engine
         projections = self._cache.ensure_projections(self._model.decoder)
         key = (self._cache.version, self.block_size, self.num_shards)
         if self._catalog_engine is None or self._catalog_key != key:
@@ -429,42 +598,63 @@ class DDIScreeningService:
             self._catalog_key = key
         return self._catalog_engine
 
+    def _kernel(self):
+        if self._screen_kernel is None:
+            self._screen_kernel = make_screen_kernel(self._model.decoder)
+        return self._screen_kernel
+
     def _resolve_exclude(self, exclude: tuple) -> np.ndarray:
         resolved = {i if isinstance(i, (int, np.integer)) else
                     self.index_of(i) for i in exclude}
-        return np.fromiter(resolved, dtype=np.int64, count=len(resolved))
+        # Sorted, so the resolved index order never depends on set/hash
+        # iteration order — the same exclusion list produces byte-identical
+        # exclusion arrays in every process (executor dispatch included).
+        return np.sort(np.fromiter(resolved, dtype=np.int64,
+                                   count=len(resolved)))
+
+    def _use_parallel(self, parallel: bool | None, approx: bool) -> bool:
+        """Route a screen to the process pool?  Validates explicit asks."""
+        self._sync_store()
+        available = (self._store is not None and self.num_workers > 1
+                     and not approx)
+        if parallel is None:
+            return available
+        if parallel and not available:
+            if approx:
+                raise ValueError(
+                    "approximate screening runs in-process; drop "
+                    "parallel=True or use exact mode")
+            raise RuntimeError(
+                "parallel screening needs an attached shard store "
+                "(save_shards + open_shards) and num_workers > 1")
+        return bool(parallel)
 
     def _screen_embeddings(self, query_embeddings: np.ndarray,
                            top_k: int, exclude: list[np.ndarray],
                            symmetric: bool, approx: bool,
-                           approx_oversample: int) -> list[list[ScreenHit]]:
+                           approx_oversample: int,
+                           parallel: bool | None = None
+                           ) -> list[list[ScreenHit]]:
         """Shared engine behind screen / screen_batch / screen_smiles.
 
         Exact mode streams probability blocks through per-shard top-k
         selection; scores are bitwise-identical to
         :meth:`HyGNN.screen_probs` over the full catalog for every block
-        size, shard layout, and query-batch size.  Approximate mode (dot
-        decoder only) prefilters with one inner-product GEMM per block,
-        then exact-reranks the ``top_k * approx_oversample`` survivors.
+        size, shard layout, query-batch size, and execution plan (serial
+        in-memory, serial memory-mapped, multi-process).  Approximate mode
+        (dot decoder only) prefilters with one inner-product GEMM per
+        block, then exact-reranks the ``top_k * approx_oversample``
+        survivors.
         """
         decoder = self._model.decoder
-        catalog = self._catalog()
+        kernel = self._kernel()
         num_queries = len(query_embeddings)
         two_sided = symmetric and not decoder.is_symmetric
+        use_parallel = self._use_parallel(parallel, approx)
         query_proj = decoder.project_queries(
             query_embeddings,
             sides=("as_left", "as_right") if two_sided else ("as_left",))
-
-        def make_exact(projections):
-            def exact_probs(_emb_block, proj_block):
-                probs = stable_sigmoid(decoder.score_block(projections,
-                                                           proj_block))
-                if two_sided:
-                    probs = 0.5 * (probs + stable_sigmoid(
-                        decoder.score_block(projections, proj_block,
-                                            reverse=True)))
-                return probs
-            return exact_probs
+        stats = self._cache.stats
 
         if approx:
             if not decoder.supports_prefilter:
@@ -473,49 +663,66 @@ class DDIScreeningService:
                     f"(dot); {type(decoder).__name__} has no prefilter")
             if approx_oversample < 1:
                 raise ValueError("approx_oversample must be >= 1")
-            results = self._approx_screen(catalog, decoder, query_proj,
-                                          num_queries, make_exact, top_k,
-                                          exclude, approx_oversample)
+            results, rescored = self._approx_screen(
+                self._catalog(), kernel, query_proj, num_queries, top_k,
+                exclude, approx_oversample)
+            # The shortlist scan is one cheap comparison per candidate,
+            # not an exact pair score; only the rescores are exact.
+            stats.prefilter_pairs += num_queries * self.num_drugs
+            stats.pairs_scored += rescored
         else:
-            results = catalog.screen(make_exact(query_proj), num_queries,
-                                     top_k, exclude=exclude)
-        per_direction = 2 if two_sided else 1
-        self._cache.stats.pairs_scored += (num_queries * self.num_drugs
-                                           * per_direction)
-        self._cache.stats.screens += num_queries
+            if use_parallel:
+                results = self._get_executor().screen(
+                    kernel, query_proj, num_queries, top_k,
+                    block_size=self.block_size, exclude=exclude,
+                    two_sided=two_sided)
+                stats.parallel_screens += num_queries
+            else:
+                results = self._catalog().screen(
+                    exact_score_fn(kernel, query_proj, two_sided),
+                    num_queries, top_k, exclude=exclude)
+            stats.pairs_scored += (num_queries * self.num_drugs
+                                   * (2 if two_sided else 1))
+        stats.screens += num_queries
         return [[ScreenHit(index=int(j), drug_id=self._drug_ids[j],
                            probability=float(p))
                  for j, p in zip(indices, probs)]
                 for indices, probs in results]
 
-    def _approx_screen(self, catalog, decoder, query_proj, num_queries,
-                       make_exact, top_k, exclude, oversample):
-        """Inner-product prefilter, then exact rerank of the survivors."""
+    def _approx_screen(self, catalog, kernel, query_proj, num_queries,
+                       top_k, exclude, oversample):
+        """Inner-product prefilter, then exact rerank of the survivors.
+
+        Returns ``(results, rescored)`` where ``rescored`` counts the
+        shortlist rows that went through the exact kernel.
+        """
         def prefilter(_emb_block, proj_block):
-            return decoder.prefilter_block(query_proj, proj_block)
+            return kernel.prefilter_block(query_proj, proj_block)
 
         shortlist = catalog.screen(prefilter, num_queries,
                                    max(top_k * oversample, top_k),
                                    exclude=exclude)
         results = []
+        rescored = 0
         for qi, (cand_indices, _approx_scores) in enumerate(shortlist):
             if not len(cand_indices):
                 results.append((cand_indices, np.zeros(0)))
                 continue
             emb_rows, proj_rows = catalog.rows(cand_indices)
+            rescored += len(cand_indices)
             qi_proj = {name: rows[qi:qi + 1]
                        for name, rows in query_proj.items()}
             # Rerank with the exact kernel: probabilities of the survivors
             # are bitwise what exact mode would report for them.
-            probs = make_exact(qi_proj)(emb_rows, proj_rows)[0]
+            probs = exact_score_fn(kernel, qi_proj)(emb_rows, proj_rows)[0]
             select = np.lexsort((cand_indices, -probs))[:top_k]
             results.append((cand_indices[select], probs[select]))
-        return results
+        return results, rescored
 
     def screen(self, query: int | str, top_k: int = 5,
                exclude: tuple = (), symmetric: bool = False,
-               approx: bool = False, approx_oversample: int = 4
-               ) -> list[ScreenHit]:
+               approx: bool = False, approx_oversample: int = 4,
+               parallel: bool | None = None) -> list[ScreenHit]:
         """Top-k most likely interaction partners of one catalog drug.
 
         ``symmetric=True`` averages σ(γ(x, y)) and σ(γ(y, x)) — the MLP
@@ -523,6 +730,11 @@ class DDIScreeningService:
         ``approx=True`` (dot decoder only) ranks via an inner-product
         prefilter over ``top_k * approx_oversample`` candidates before an
         exact rerank — near-ties beyond the shortlist may be missed.
+        ``parallel`` picks the execution plan: ``None`` (default) uses the
+        process pool whenever a shard store is attached and
+        ``num_workers > 1``; ``False`` forces in-process; ``True`` demands
+        the pool (raises if no store is attached).  Every plan returns
+        bitwise-identical hits.
         """
         index = int(query) if isinstance(query, (int, np.integer)) \
             else self.index_of(query)
@@ -536,12 +748,13 @@ class DDIScreeningService:
         else:
             excluded = np.array([index], dtype=np.int64)
         return self._screen_embeddings(query_emb, top_k, [excluded],
-                                       symmetric, approx,
-                                       approx_oversample)[0]
+                                       symmetric, approx, approx_oversample,
+                                       parallel=parallel)[0]
 
     def screen_batch(self, queries: list[int | str], top_k: int = 5,
                      exclude: tuple = (), symmetric: bool = False,
-                     approx: bool = False, approx_oversample: int = 4
+                     approx: bool = False, approx_oversample: int = 4,
+                     parallel: bool | None = None
                      ) -> list[list[ScreenHit]]:
         """Micro-batched screening: many queries, one pass over the catalog.
 
@@ -549,7 +762,8 @@ class DDIScreeningService:
         single vectorized kernel call (for the dot prefilter, one GEMM per
         block), so catalog traffic is paid once for the batch instead of
         once per query.  Per-query results are bitwise-identical to calling
-        :meth:`screen` one query at a time.
+        :meth:`screen` one query at a time.  ``parallel`` routes the batch
+        to the shard process pool exactly as on :meth:`screen`.
         """
         if not len(queries):
             return []
@@ -565,13 +779,15 @@ class DDIScreeningService:
         query_embs = self._cache.embeddings[np.asarray(indices,
                                                        dtype=np.int64)]
         return self._screen_embeddings(query_embs, top_k, per_query,
-                                       symmetric, approx, approx_oversample)
+                                       symmetric, approx, approx_oversample,
+                                       parallel=parallel)
 
     def screen_smiles(self, smiles: str, top_k: int = 5,
                       symmetric: bool = False,
                       allow_unknown: bool = False,
                       approx: bool = False,
-                      approx_oversample: int = 4) -> list[ScreenHit]:
+                      approx_oversample: int = 4,
+                      parallel: bool | None = None) -> list[ScreenHit]:
         """Screen an *unregistered* SMILES against the catalog (transient).
 
         The query drug is embedded on the fly against the frozen context and
@@ -592,4 +808,5 @@ class DDIScreeningService:
             model.train(was_training)
         empty = np.zeros(0, dtype=np.int64)
         return self._screen_embeddings(query_emb, top_k, [empty], symmetric,
-                                       approx, approx_oversample)[0]
+                                       approx, approx_oversample,
+                                       parallel=parallel)[0]

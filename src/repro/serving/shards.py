@@ -14,6 +14,13 @@ shard a zero-copy view of the parent arrays.  An explicit ``layout`` (any
 partition of the row indices, e.g. hash-assignment) is supported for
 distribution experiments; those shards gather their rows once at build
 time — the same copy a per-worker deployment would hold locally.
+
+The per-shard accumulate (:func:`screen_shard`) and the cross-shard reduce
+(:func:`finalize_screen`) are module-level functions, deliberately: the
+out-of-core tier (:mod:`repro.serving.store`) and the process-pool executor
+(:mod:`repro.serving.executor`) run the *same* code over memory-mapped shard
+files in worker processes, which is what makes their results bitwise-
+identical to this in-memory catalog by construction.
 """
 
 from __future__ import annotations
@@ -27,6 +34,81 @@ from .topk import TopKAccumulator, merge_top_k
 
 # score_block(embeddings_block, projections_block) -> (num_queries, block) scores
 ScoreBlockFn = Callable[[np.ndarray, dict[str, np.ndarray]], np.ndarray]
+
+
+def normalize_exclude(exclude, num_queries: int) -> list[np.ndarray]:
+    """Per-query exclusion arrays from the polymorphic ``exclude`` argument."""
+    empty = np.zeros(0, dtype=np.int64)
+    if exclude is None:
+        return [empty] * num_queries
+    # A flat collection of integers is one shared exclusion set; only a
+    # collection of *array-likes* is per-query.  Deciding by element
+    # type (not length) keeps `exclude=[3, 5]` meaning "rows 3 and 5,
+    # every query" even when the list length equals num_queries.
+    if isinstance(exclude, (list, tuple)) and any(
+            not isinstance(e, (int, np.integer)) for e in exclude):
+        if len(exclude) != num_queries:
+            raise ValueError(
+                f"per-query exclude has {len(exclude)} entries for "
+                f"{num_queries} queries")
+        return [np.asarray(e, dtype=np.int64).reshape(-1)
+                for e in exclude]
+    shared = np.asarray(exclude, dtype=np.int64).reshape(-1)
+    return [shared] * num_queries
+
+
+def iter_shard_blocks(shard: "CatalogShard", block_size: int) -> Iterator[
+        tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]]:
+    """Yield ``(global_indices, embeddings, projections)`` scoring blocks."""
+    for start in range(0, shard.num_drugs, block_size):
+        stop = start + block_size
+        yield (shard.indices[start:stop],
+               shard.embeddings[start:stop],
+               {k: v[start:stop] for k, v in shard.projections.items()})
+
+
+def screen_shard(shard: "CatalogShard", block_size: int,
+                 score_block: ScoreBlockFn, num_queries: int,
+                 padded: Sequence[int]
+                 ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Blockwise streaming top-``padded[qi]`` over one shard, per query.
+
+    This is the unit of work a pool worker executes against a memory-mapped
+    shard; the in-memory catalog runs the identical function over its array
+    views, so both paths produce bitwise-equal per-shard results.
+    """
+    accumulators = [TopKAccumulator(k) for k in padded]
+    for indices, emb_block, proj_block in iter_shard_blocks(shard,
+                                                            block_size):
+        scores = np.atleast_2d(np.asarray(
+            score_block(emb_block, proj_block), dtype=np.float64))
+        if scores.shape != (num_queries, len(indices)):
+            raise ValueError(
+                f"score_block returned shape {scores.shape}; "
+                f"expected ({num_queries}, {len(indices)})")
+        for qi in range(num_queries):
+            accumulators[qi].update(scores[qi], indices)
+    return [acc.result() for acc in accumulators]
+
+
+def finalize_screen(per_shard: list[list[tuple[np.ndarray, np.ndarray]]],
+                    padded: Sequence[int], excludes: Sequence[np.ndarray],
+                    top_k: int) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Deterministic cross-shard reduce: merge, filter exclusions, truncate."""
+    results = []
+    for qi in range(len(padded)):
+        if len(per_shard) == 1:
+            indices, scores = per_shard[0][qi]
+        else:
+            indices, scores = merge_top_k([res[qi] for res in per_shard],
+                                          padded[qi])
+        if excludes[qi].size:
+            # Tiny membership test ((padded, E) broadcast) — np.isin's
+            # dispatch overhead dwarfs the actual work at these sizes.
+            keep = ~(indices[:, None] == excludes[qi][None, :]).any(axis=1)
+            indices, scores = indices[keep], scores[keep]
+        results.append((indices[:top_k], scores[:top_k]))
+    return results
 
 
 @dataclass(frozen=True)
@@ -129,11 +211,7 @@ class ShardedEmbeddingCatalog:
     def iter_blocks(self, shard: CatalogShard) -> Iterator[
             tuple[np.ndarray, np.ndarray, dict[str, np.ndarray]]]:
         """Yield ``(global_indices, embeddings, projections)`` scoring blocks."""
-        for start in range(0, shard.num_drugs, self.block_size):
-            stop = start + self.block_size
-            yield (shard.indices[start:stop],
-                   shard.embeddings[start:stop],
-                   {k: v[start:stop] for k, v in shard.projections.items()})
+        return iter_shard_blocks(shard, self.block_size)
 
     # ------------------------------------------------------------------
     def screen(self, score_block: ScoreBlockFn, num_queries: int, top_k: int,
@@ -155,52 +233,9 @@ class ShardedEmbeddingCatalog:
         per-block work free of membership tests, and is exactly equivalent
         to masking candidates up front.
         """
-        excludes = self._normalize_exclude(exclude, num_queries)
+        excludes = normalize_exclude(exclude, num_queries)
         padded = [top_k + e.size if top_k > 0 else 0 for e in excludes]
-        per_shard: list[list[tuple[np.ndarray, np.ndarray]]] = []
-        for shard in self._shards:
-            accumulators = [TopKAccumulator(k) for k in padded]
-            for indices, emb_block, proj_block in self.iter_blocks(shard):
-                scores = np.atleast_2d(np.asarray(
-                    score_block(emb_block, proj_block), dtype=np.float64))
-                if scores.shape != (num_queries, len(indices)):
-                    raise ValueError(
-                        f"score_block returned shape {scores.shape}; "
-                        f"expected ({num_queries}, {len(indices)})")
-                for qi in range(num_queries):
-                    accumulators[qi].update(scores[qi], indices)
-            per_shard.append([acc.result() for acc in accumulators])
-        results = []
-        for qi in range(num_queries):
-            if len(per_shard) == 1:
-                indices, scores = per_shard[0][qi]
-            else:
-                indices, scores = merge_top_k([res[qi] for res in per_shard],
-                                              padded[qi])
-            if excludes[qi].size:
-                # Tiny membership test ((padded, E) broadcast) — np.isin's
-                # dispatch overhead dwarfs the actual work at these sizes.
-                keep = ~(indices[:, None] == excludes[qi][None, :]).any(axis=1)
-                indices, scores = indices[keep], scores[keep]
-            results.append((indices[:top_k], scores[:top_k]))
-        return results
-
-    @staticmethod
-    def _normalize_exclude(exclude, num_queries: int) -> list[np.ndarray]:
-        empty = np.zeros(0, dtype=np.int64)
-        if exclude is None:
-            return [empty] * num_queries
-        # A flat collection of integers is one shared exclusion set; only a
-        # collection of *array-likes* is per-query.  Deciding by element
-        # type (not length) keeps `exclude=[3, 5]` meaning "rows 3 and 5,
-        # every query" even when the list length equals num_queries.
-        if isinstance(exclude, (list, tuple)) and any(
-                not isinstance(e, (int, np.integer)) for e in exclude):
-            if len(exclude) != num_queries:
-                raise ValueError(
-                    f"per-query exclude has {len(exclude)} entries for "
-                    f"{num_queries} queries")
-            return [np.asarray(e, dtype=np.int64).reshape(-1)
-                    for e in exclude]
-        shared = np.asarray(exclude, dtype=np.int64).reshape(-1)
-        return [shared] * num_queries
+        per_shard = [screen_shard(shard, self.block_size, score_block,
+                                  num_queries, padded)
+                     for shard in self._shards]
+        return finalize_screen(per_shard, padded, excludes, top_k)

@@ -1,0 +1,308 @@
+"""Memory-mapped shard store: the out-of-core tier of the screening engine.
+
+A :class:`ShardStore` persists a sharded catalog — the embedding rows plus
+the precomputed candidate-side decoder projections of each shard — as raw
+``.npy`` files next to a JSON manifest:
+
+    store_dir/
+      manifest.json                     # layout + fingerprint + digest
+      shard_00000.emb.npy               # shard 0's embedding rows
+      shard_00000.proj.<name>.npy       # shard 0's rows of projection <name>
+      shard_00001.emb.npy
+      ...
+
+The manifest records the contiguous row range of every shard, the weight
+fingerprint and catalog digest the arrays were computed under (so a loader
+can *prove* the store still matches the model and drug list it is about to
+serve), and the projection names — including which of them alias the
+embedding matrix itself (the dot decoder's identity precompute), which are
+never written twice.
+
+Reopening goes through ``np.load(..., mmap_mode="r")``: shard arrays become
+read-only memory maps, so a screening pass touches O(block) file pages at a
+time and its heap allocations stay O(block + k) — a catalog (projections
+included) far larger than RAM streams through the engine.  Because
+:class:`MappedShardCatalog` feeds those maps through the *same*
+:func:`~repro.serving.shards.screen_shard` /
+:func:`~repro.serving.shards.finalize_screen` code as the in-memory
+:class:`~repro.serving.shards.ShardedEmbeddingCatalog`, results are
+bitwise-identical to the in-memory engine for every block size and shard
+count.  Worker processes (:mod:`repro.serving.executor`) open individual
+shards by manifest path — no array ever crosses a process boundary.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .cache import _fingerprint_from_json, _fingerprint_to_json
+from .shards import CatalogShard, ShardedEmbeddingCatalog
+
+MANIFEST_NAME = "manifest.json"
+STORE_FORMAT = "repro.serving.shard-store/v1"
+_NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+class ShardStore:
+    """Disk layout + lazy memory-mapped access for one persisted catalog.
+
+    ``ShardStore(path)`` opens an existing store (``path`` may be the store
+    directory or the manifest file itself); :meth:`save` writes one.  Shards
+    open lazily and are memoized per store instance, so a pool worker that
+    is assigned shard *i* maps only shard *i*'s files.
+    """
+
+    def __init__(self, path: str | Path, mmap_mode: str | None = "r"):
+        path = Path(path)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        manifest = json.loads(path.read_text())
+        if not isinstance(manifest, dict):
+            raise ValueError(f"{path} is not a shard-store manifest")
+        if manifest.get("format") != STORE_FORMAT:
+            raise ValueError(
+                f"{path} is not a shard-store manifest "
+                f"(format={manifest.get('format')!r})")
+        missing = {"num_drugs", "embed_dim", "block_size", "projections",
+                   "aliases", "shards"} - manifest.keys()
+        if missing:
+            raise ValueError(f"{path} is missing manifest keys "
+                             f"{sorted(missing)}")
+        self.path = path
+        self.root = path.parent
+        self.mmap_mode = mmap_mode
+        self.manifest = manifest
+        # Coerce the scalar fields eagerly so any malformed manifest —
+        # whatever the corruption — fails here as a ValueError, which
+        # best-effort openers (DDIScreeningService.open_shards) treat as
+        # "no usable store" rather than crashing.
+        try:
+            self._num_drugs = int(manifest["num_drugs"])
+            self._embed_dim = int(manifest["embed_dim"])
+            self._block_size = int(manifest["block_size"])
+            if not isinstance(manifest["shards"], list):
+                raise TypeError
+            fingerprint = manifest.get("fingerprint")
+            self.fingerprint = (_fingerprint_from_json(fingerprint)
+                                if fingerprint is not None else None)
+        except (TypeError, ValueError, KeyError) as error:
+            raise ValueError(
+                f"{path} has malformed manifest fields") from error
+        self.catalog_digest = manifest.get("catalog_digest")
+        self._opened: dict[int, CatalogShard] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_drugs(self) -> int:
+        return self._num_drugs
+
+    @property
+    def embed_dim(self) -> int:
+        return self._embed_dim
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.manifest["shards"])
+
+    @property
+    def block_size(self) -> int:
+        return self._block_size
+
+    @property
+    def projection_names(self) -> list[str]:
+        return list(self.manifest["projections"])
+
+    def nbytes(self) -> int:
+        """Total bytes of the shard files (embeddings + projections)."""
+        spec_files = [self.root / spec["embeddings"]
+                      for spec in self.manifest["shards"]]
+        spec_files += [self.root / name
+                       for spec in self.manifest["shards"]
+                       for name in spec["projections"].values()]
+        return sum(f.stat().st_size for f in spec_files)
+
+    # ------------------------------------------------------------------
+    def open_shard(self, index: int) -> CatalogShard:
+        """Memory-map one shard's arrays (memoized per store instance)."""
+        shard = self._opened.get(index)
+        if shard is not None:
+            return shard
+        spec = self.manifest["shards"][index]
+        start, stop = int(spec["start"]), int(spec["stop"])
+        embeddings = np.load(self.root / spec["embeddings"],
+                             mmap_mode=self.mmap_mode)
+        if embeddings.shape != (stop - start, self.embed_dim):
+            raise ValueError(
+                f"shard {index}: {spec['embeddings']} has shape "
+                f"{embeddings.shape}, manifest says "
+                f"({stop - start}, {self.embed_dim})")
+        aliases = set(self.manifest["aliases"])
+        projections = {}
+        for name in self.manifest["projections"]:
+            if name in aliases:
+                projections[name] = embeddings
+            else:
+                matrix = np.load(self.root / spec["projections"][name],
+                                 mmap_mode=self.mmap_mode)
+                if len(matrix) != stop - start:
+                    raise ValueError(
+                        f"shard {index}: projection {name!r} has "
+                        f"{len(matrix)} rows for {stop - start} drugs")
+                projections[name] = matrix
+        shard = CatalogShard(
+            indices=np.arange(start, stop, dtype=np.int64),
+            embeddings=embeddings, projections=projections)
+        self._opened[index] = shard
+        return shard
+
+    def catalog(self, block_size: int | None = None) -> "MappedShardCatalog":
+        """A screening catalog over the memory-mapped shards."""
+        return MappedShardCatalog(self, block_size or self.block_size)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def save(cls, path: str | Path, embeddings: np.ndarray,
+             projections: dict[str, np.ndarray] | None = None,
+             num_shards: int = 1, block_size: int = 1024,
+             fingerprint: tuple | None = None,
+             catalog_digest: str | None = None) -> Path:
+        """Write a shard store under directory ``path``; returns the manifest.
+
+        Rows are split into the same contiguous ranges the in-memory
+        catalog's default layout uses (``np.array_split`` boundaries), so a
+        reopened store screens shard-for-shard identically.  Projections
+        whose matrix *is* the embedding matrix (the dot decoder's identity
+        precompute) are recorded as aliases, not written twice.
+        """
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2 or not len(embeddings):
+            raise ValueError("embeddings must be a non-empty "
+                             "(num_drugs, dim) matrix")
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        projections = dict(projections or {})
+        for name, matrix in projections.items():
+            if not _NAME_RE.match(name):
+                raise ValueError(f"projection name {name!r} is not a valid "
+                                 f"file-name component")
+            if len(matrix) != len(embeddings):
+                raise ValueError(
+                    f"projection {name!r} has {len(matrix)} rows for "
+                    f"{len(embeddings)} catalog drugs")
+        aliases = sorted(name for name, matrix in projections.items()
+                         if matrix is embeddings)
+
+        root = Path(path)
+        root.mkdir(parents=True, exist_ok=True)
+        chunks = [c for c in np.array_split(
+            np.arange(len(embeddings), dtype=np.int64), num_shards)
+            if len(c)]
+        shard_specs = []
+        for i, chunk in enumerate(chunks):
+            lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+            emb_file = f"shard_{i:05d}.emb.npy"
+            np.save(root / emb_file, embeddings[lo:hi])
+            proj_files = {}
+            for name, matrix in projections.items():
+                if name in aliases:
+                    continue
+                proj_file = f"shard_{i:05d}.proj.{name}.npy"
+                np.save(root / proj_file, matrix[lo:hi])
+                proj_files[name] = proj_file
+            shard_specs.append({"start": lo, "stop": hi,
+                                "embeddings": emb_file,
+                                "projections": proj_files})
+        manifest = {
+            "format": STORE_FORMAT,
+            "fingerprint": (_fingerprint_to_json(fingerprint)
+                            if fingerprint is not None else None),
+            "catalog_digest": catalog_digest,
+            "num_drugs": len(embeddings),
+            "embed_dim": int(embeddings.shape[1]),
+            "dtype": str(embeddings.dtype),
+            "block_size": block_size,
+            "projections": sorted(projections),
+            "aliases": aliases,
+            "shards": shard_specs,
+        }
+        manifest_path = root / MANIFEST_NAME
+        # Write-then-rename so a crashed save never leaves a manifest that
+        # points at half-written shards.
+        tmp = manifest_path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        tmp.replace(manifest_path)
+        return manifest_path
+
+
+class MappedShardCatalog(ShardedEmbeddingCatalog):
+    """A :class:`ShardedEmbeddingCatalog` whose rows live on disk.
+
+    Shards are ``np.memmap`` views opened from a :class:`ShardStore`; the
+    inherited :meth:`screen` streams them through the shared blockwise
+    top-k core, so exact-mode results are bitwise-identical to the
+    in-memory catalog while peak heap memory stays O(block + k).  There is
+    deliberately no materialized global embedding/projection matrix — use
+    :meth:`rows` to gather specific rows (the approximate-mode rerank
+    does), which reads only the pages those rows live on.
+    """
+
+    def __init__(self, store: ShardStore, block_size: int):
+        if block_size < 1:
+            raise ValueError("block_size must be >= 1")
+        self._store = store
+        self._shards = [store.open_shard(i)
+                        for i in range(store.num_shards)]
+        self._starts = np.array([int(s.indices[0]) for s in self._shards],
+                                dtype=np.int64)
+        self._embeddings = None
+        self._projections = None
+        self.block_size = block_size
+
+    @property
+    def store(self) -> ShardStore:
+        return self._store
+
+    @property
+    def num_drugs(self) -> int:
+        return self._store.num_drugs
+
+    @property
+    def projections(self) -> dict[str, np.ndarray]:
+        raise RuntimeError("an out-of-core catalog never materializes a "
+                           "global projection matrix; use rows()")
+
+    def rows(self, indices: Sequence[int] | np.ndarray
+             ) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+        """Gather ``(embeddings, projections)`` rows by global catalog index.
+
+        Rows come back as ordinary in-memory arrays (tiny — callers gather
+        shortlists, not catalogs), bitwise-equal to the in-memory catalog's
+        gather for the same indices.
+        """
+        indices = np.asarray(indices, dtype=np.int64).reshape(-1)
+        if indices.size and (indices.min() < 0
+                             or indices.max() >= self.num_drugs):
+            raise IndexError(f"row index out of catalog range "
+                             f"[0, {self.num_drugs})")
+        template = self._shards[0]
+        emb = np.empty((len(indices), self._store.embed_dim),
+                       dtype=template.embeddings.dtype)
+        proj = {name: np.empty((len(indices),) + matrix.shape[1:],
+                               dtype=matrix.dtype)
+                for name, matrix in template.projections.items()}
+        shard_of = np.searchsorted(self._starts, indices, side="right") - 1
+        for sid in np.unique(shard_of):
+            shard = self._shards[sid]
+            mask = shard_of == sid
+            local = indices[mask] - int(shard.indices[0])
+            emb[mask] = shard.embeddings[local]
+            for name, matrix in shard.projections.items():
+                proj[name][mask] = matrix[local]
+        return emb, proj

@@ -324,6 +324,49 @@ class TestEngineParity:
         assert [h.index for h in hits] == [j for j, _ in legacy]
 
 
+class TestScreenEdgeCases:
+    """Degenerate screening shapes the out-of-core/parallel tier must honor
+    identically to the in-memory engine (see also the mmap round-trip
+    parity tests in tests/test_serving_store.py)."""
+
+    def test_top_k_zero(self, setup):
+        service = _service(setup, block_size=4, num_shards=2)
+        assert service.screen(0, top_k=0) == []
+        assert service.screen_batch([1, 2], top_k=0) == [[], []]
+
+    def test_top_k_exceeds_catalog(self, setup):
+        corpus, _, model, _, _ = setup
+        service = _service(setup, block_size=6, num_shards=3)
+        hits = service.screen(4, top_k=10 * len(corpus))
+        assert len(hits) == len(corpus) - 1  # everything except the query
+        legacy = _legacy_screen(service, model, 4, len(corpus))
+        assert [h.index for h in hits] == [j for j, _ in legacy]
+
+    def test_single_drug_catalog(self, setup):
+        corpus, _, model, _, builder = setup
+        service = DDIScreeningService(model, builder, corpus[:1])
+        assert service.screen(0, top_k=5) == []  # only itself, excluded
+        pairs = service.score_pairs(np.array([[0, 0]]))
+        assert pairs.shape == (1,)
+
+    def test_every_candidate_excluded(self, setup):
+        service = _service(setup, block_size=5, num_shards=2)
+        everyone = tuple(range(service.num_drugs))
+        assert service.screen(3, top_k=4, exclude=everyone) == []
+        batched = service.screen_batch([0, 7], top_k=4, exclude=everyone)
+        assert batched == [[], []]
+
+    def test_edge_cases_survive_mmap_round_trip(self, setup, tmp_path):
+        service = _service(setup, block_size=5, num_shards=2)
+        service.save_shards(tmp_path / "store", num_shards=3)
+        assert service.open_shards(tmp_path / "store")
+        assert service.screen(0, top_k=0) == []
+        everyone = tuple(range(service.num_drugs))
+        assert service.screen(3, top_k=4, exclude=everyone) == []
+        hits = service.screen(4, top_k=10 * service.num_drugs)
+        assert len(hits) == service.num_drugs - 1
+
+
 class TestApproximateMode:
     def test_dot_approx_with_full_oversample_matches_exact(self, setup):
         _, config, *_ = setup

@@ -1,0 +1,474 @@
+"""Tests for the out-of-core screening tier: the memory-mapped shard store
+(`repro.serving.store`), the multi-process shard executor
+(`repro.serving.executor`), their wiring through `DDIScreeningService`
+(`save_shards` / `open_shards` / `parallel=`), and the serving-layer
+bugfixes that rode along (globally unique cache versions, split
+prefilter/exact stats, deterministic exclusion resolution).
+
+The contract under test everywhere: every execution plan — serial
+in-memory, serial memory-mapped, multi-process — returns **bitwise**
+identical ``(indices, probabilities)``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.chem import MoleculeGenerator
+from repro.core import HyGNN, HyGNNConfig
+from repro.core.decoder import MLPDecoder, make_screen_kernel
+from repro.nn import Tensor
+from repro.core.encoder import EncoderContext
+from repro.serving import (DDIScreeningService, EmbeddingCache,
+                           MappedShardCatalog, ParallelShardExecutor,
+                           ShardedEmbeddingCatalog, ShardStore,
+                           exact_score_fn)
+
+
+def _corpus(n=36, seed=11):
+    return [r.smiles for r in MoleculeGenerator(seed=seed).generate_corpus(n)]
+
+
+@pytest.fixture(scope="module", params=["mlp", "dot"])
+def setup(request):
+    corpus = _corpus()
+    config = HyGNNConfig(parameter=4, embed_dim=12, hidden_dim=12, seed=5,
+                         decoder=request.param)
+    model, hypergraph, builder = HyGNN.for_corpus(corpus, config)
+    return corpus, config, model, hypergraph, builder
+
+
+def _service(setup, **kwargs):
+    corpus, _, model, _, builder = setup
+    return DDIScreeningService(model, builder, corpus, **kwargs)
+
+
+def _hits(results):
+    return [[(h.index, h.probability) for h in hits] for hits in results]
+
+
+def _synthetic(seed=0, n=90, d=8):
+    rng = np.random.default_rng(seed)
+    decoder = MLPDecoder(d, d, np.random.default_rng(seed))
+    embeddings = rng.standard_normal((n, d))
+    return decoder, embeddings, decoder.candidate_projections(embeddings)
+
+
+# ---------------------------------------------------------------------------
+# shard store format
+# ---------------------------------------------------------------------------
+class TestShardStore:
+    def test_round_trip_metadata_and_bytes(self, tmp_path):
+        decoder, emb, proj = _synthetic(n=53)
+        manifest = ShardStore.save(tmp_path / "store", emb, proj,
+                                   num_shards=4, block_size=17,
+                                   fingerprint=("fast", (("w", (2, 3), 1.5),)),
+                                   catalog_digest="abc123")
+        assert manifest.name == "manifest.json"
+        store = ShardStore(manifest)
+        assert store.num_drugs == 53
+        assert store.embed_dim == emb.shape[1]
+        assert store.num_shards == 4
+        assert store.block_size == 17
+        assert store.fingerprint == ("fast", (("w", (2, 3), 1.5),))
+        assert store.catalog_digest == "abc123"
+        assert store.projection_names == sorted(proj)
+        # Shard row ranges follow the in-memory catalog's default split.
+        reference = ShardedEmbeddingCatalog(emb, proj, num_shards=4)
+        for opened, expected in zip(
+                (store.open_shard(i) for i in range(4)), reference.shards):
+            np.testing.assert_array_equal(opened.indices, expected.indices)
+            np.testing.assert_array_equal(np.asarray(opened.embeddings),
+                                          expected.embeddings)
+            for name in proj:
+                np.testing.assert_array_equal(
+                    np.asarray(opened.projections[name]),
+                    expected.projections[name])
+        assert store.nbytes() > emb.nbytes  # projections counted too
+
+    def test_open_accepts_directory_or_manifest(self, tmp_path):
+        _, emb, proj = _synthetic(n=10)
+        ShardStore.save(tmp_path / "s", emb, proj)
+        assert ShardStore(tmp_path / "s").num_drugs == 10
+        assert ShardStore(tmp_path / "s" / "manifest.json").num_drugs == 10
+
+    def test_shards_are_memory_mapped(self, tmp_path):
+        _, emb, proj = _synthetic(n=20)
+        store = ShardStore(ShardStore.save(tmp_path / "s", emb, proj,
+                                           num_shards=2))
+        shard = store.open_shard(0)
+        assert isinstance(shard.embeddings, np.memmap)
+        assert all(isinstance(m, np.memmap)
+                   for m in shard.projections.values())
+        assert store.open_shard(0) is shard  # memoized
+
+    def test_alias_projection_not_written_twice(self, tmp_path):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((30, 6))
+        manifest = ShardStore.save(tmp_path / "dot", emb, {"emb": emb},
+                                   num_shards=3)
+        spec = json.loads(manifest.read_text())
+        assert spec["aliases"] == ["emb"]
+        assert all(not s["projections"] for s in spec["shards"])
+        shard = ShardStore(manifest).open_shard(1)
+        assert shard.projections["emb"] is shard.embeddings
+
+    def test_rejects_bad_inputs(self, tmp_path):
+        _, emb, proj = _synthetic(n=8)
+        with pytest.raises(ValueError, match="non-empty"):
+            ShardStore.save(tmp_path / "a", np.zeros((0, 4)))
+        with pytest.raises(ValueError, match="num_shards"):
+            ShardStore.save(tmp_path / "b", emb, num_shards=0)
+        with pytest.raises(ValueError, match="projection"):
+            ShardStore.save(tmp_path / "c", emb, {"p": emb[:3]})
+        with pytest.raises(ValueError, match="file-name"):
+            ShardStore.save(tmp_path / "d", emb, {"../evil": emb})
+
+    def test_rejects_foreign_manifest(self, tmp_path):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="shard-store manifest"):
+            ShardStore(path)
+        path.write_text(json.dumps(["not", "a", "manifest"]))
+        with pytest.raises(ValueError, match="shard-store manifest"):
+            ShardStore(path)
+
+    def test_malformed_manifest_raises_value_error(self, tmp_path):
+        """Every corruption mode must surface as ValueError so best-effort
+        openers (open_shards/load_cache reattach) can swallow it."""
+        from repro.serving.store import STORE_FORMAT
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"format": STORE_FORMAT}))  # keys missing
+        with pytest.raises(ValueError, match="missing manifest keys"):
+            ShardStore(path)
+        path.write_text(json.dumps({
+            "format": STORE_FORMAT, "num_drugs": "not-a-number",
+            "embed_dim": 4, "block_size": 8, "projections": [],
+            "aliases": [], "shards": []}))
+        with pytest.raises(ValueError, match="malformed"):
+            ShardStore(path)
+
+    def test_more_shards_than_rows_skips_empties(self, tmp_path):
+        _, emb, proj = _synthetic(n=3)
+        store = ShardStore(ShardStore.save(tmp_path / "s", emb, proj,
+                                           num_shards=10))
+        assert store.num_shards == 3
+        assert store.num_drugs == 3
+
+
+# ---------------------------------------------------------------------------
+# memory-mapped catalog: bitwise parity with the in-memory engine
+# ---------------------------------------------------------------------------
+class TestMappedCatalog:
+    def test_screen_bitwise_matches_in_memory(self, tmp_path):
+        decoder, emb, proj = _synthetic(seed=3, n=120)
+        kernel = make_screen_kernel(decoder)
+        queries = emb[[4, 77]]
+        query_proj = decoder.project_queries(queries, sides=("as_left",))
+        score = exact_score_fn(kernel, query_proj)
+        reference = ShardedEmbeddingCatalog(emb, proj, num_shards=3,
+                                            block_size=13).screen(score, 2, 9)
+        manifest = ShardStore.save(tmp_path / "s", emb, proj, num_shards=3)
+        for block_size in (5, 13, 1000):
+            mapped = ShardStore(manifest).catalog(block_size)
+            assert isinstance(mapped, MappedShardCatalog)
+            results = mapped.screen(score, 2, 9)
+            for (ri, rs), (mi, ms) in zip(reference, results):
+                np.testing.assert_array_equal(mi, ri)
+                np.testing.assert_array_equal(ms, rs)
+
+    def test_rows_gather_matches_in_memory(self, tmp_path):
+        decoder, emb, proj = _synthetic(seed=7, n=64)
+        manifest = ShardStore.save(tmp_path / "s", emb, proj, num_shards=5)
+        mapped = ShardStore(manifest).catalog(8)
+        reference = ShardedEmbeddingCatalog(emb, proj)
+        indices = np.array([63, 0, 17, 17, 40, 2])  # cross-shard, repeats
+        got_emb, got_proj = mapped.rows(indices)
+        want_emb, want_proj = reference.rows(indices)
+        np.testing.assert_array_equal(got_emb, want_emb)
+        for name in want_proj:
+            np.testing.assert_array_equal(got_proj[name], want_proj[name])
+        with pytest.raises(IndexError):
+            mapped.rows(np.array([64]))
+
+    def test_no_global_projection_matrix(self, tmp_path):
+        _, emb, proj = _synthetic(n=12)
+        mapped = ShardStore(ShardStore.save(tmp_path / "s", emb,
+                                            proj)).catalog(4)
+        with pytest.raises(RuntimeError, match="out-of-core"):
+            mapped.projections
+
+
+# ---------------------------------------------------------------------------
+# service wiring: save_shards / open_shards / parallel screens
+# ---------------------------------------------------------------------------
+class TestServiceStore:
+    def test_mmap_round_trip_bitwise_parity(self, setup, tmp_path):
+        service = _service(setup, block_size=7, num_shards=2)
+        queries = [0, 9, "drug_17"]
+        reference = _hits(service.screen_batch(queries, top_k=6,
+                                               exclude=(3,)))
+        manifest = service.save_shards(tmp_path / "store", num_shards=4)
+        assert service.open_shards(manifest)
+        assert service._store is not None
+        mapped = _hits(service.screen_batch(queries, top_k=6, exclude=(3,),
+                                            parallel=False))
+        assert mapped == reference
+        single = service.screen(9, top_k=6, exclude=(3,))
+        assert [(h.index, h.probability) for h in single] == reference[1]
+
+    def test_parallel_screens_bitwise_match_serial(self, setup, tmp_path):
+        service = _service(setup, block_size=5)
+        queries = [1, 4, 20]
+        reference = _hits(service.screen_batch(queries, top_k=8,
+                                               symmetric=True))
+        service.save_shards(tmp_path / "store", num_shards=3)
+        assert service.open_shards(tmp_path / "store", num_workers=2)
+        try:
+            parallel = _hits(service.screen_batch(queries, top_k=8,
+                                                  symmetric=True,
+                                                  parallel=True))
+            assert parallel == reference
+            assert service.stats.parallel_screens == len(queries)
+        finally:
+            service.close()
+
+    def test_parallel_demanded_without_store_raises(self, setup):
+        service = _service(setup)
+        with pytest.raises(RuntimeError, match="shard store"):
+            service.screen(0, top_k=3, parallel=True)
+
+    def test_open_shards_rejects_mismatches(self, setup, tmp_path):
+        corpus, _, model, _, builder = setup
+        service = _service(setup)
+        manifest = service.save_shards(tmp_path / "store")
+        # Different catalog -> digest mismatch.
+        other = DDIScreeningService(model, builder, corpus[:-1])
+        assert not other.open_shards(manifest)
+        with pytest.raises(ValueError, match="different drug catalog"):
+            other.open_shards(manifest, strict=True)
+        # Different weights -> fingerprint mismatch.
+        original = model.encoder.node_embedding.data.copy()
+        try:
+            model.encoder.node_embedding.data += 0.25
+            fresh = _service(setup)
+            assert not fresh.open_shards(manifest)
+            with pytest.raises(ValueError, match="fingerprint"):
+                fresh.open_shards(manifest, strict=True)
+        finally:
+            model.encoder.node_embedding.data = original
+        # Garbage path -> False unless strict.
+        assert not service.open_shards(tmp_path / "nope")
+        with pytest.raises(OSError):
+            service.open_shards(tmp_path / "nope", strict=True)
+        # Truncated manifest -> False unless strict (best-effort contract).
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        (bad / "manifest.json").write_text(
+            json.dumps({"format": "repro.serving.shard-store/v1"}))
+        assert not service.open_shards(bad)
+        with pytest.raises(ValueError, match="missing manifest keys"):
+            service.open_shards(bad, strict=True)
+
+    def test_open_shards_releases_in_memory_projections(self, setup,
+                                                        tmp_path):
+        """Attaching the store must drop the redundant in-RAM candidate
+        precompute (the dominant working-set share) — that is what makes
+        the service tier actually out-of-core — without detaching the
+        store it just attached."""
+        service = _service(setup, num_shards=2)
+        reference = _hits([service.screen(1, top_k=5)])[0]
+        service.save_shards(tmp_path / "store")
+        assert service._cache.projections is not None
+        assert service.open_shards(tmp_path / "store")
+        assert service._cache.projections is None
+        hits = _hits([service.screen(1, top_k=5)])[0]
+        assert service._store is not None  # still attached after screening
+        assert hits == reference
+        # Detach (weights moved) -> lazy in-memory recompute still works.
+        service.invalidate()
+        hits = _hits([service.screen(1, top_k=5)])[0]
+        assert service._store is None
+        assert hits == reference
+
+    def test_registration_detaches_stale_store(self, setup, tmp_path):
+        corpus, _, model, _, _ = setup
+        service = _service(setup, num_shards=2)
+        service.save_shards(tmp_path / "store")
+        assert service.open_shards(tmp_path / "store")
+        service.screen(0, top_k=3)
+        index = service.register_drug(corpus[5], drug_id="late-twin")
+        hits = service.screen(5, top_k=service.num_drugs)
+        assert index in [h.index for h in hits]  # sees the new drug
+        assert service._store is None  # store no longer describes the cache
+
+    def test_weight_update_detaches_stale_store(self, setup, tmp_path):
+        corpus, _, model, _, _ = setup
+        service = _service(setup)
+        service.save_shards(tmp_path / "store")
+        assert service.open_shards(tmp_path / "store")
+        before = service.screen(2, top_k=4)
+        original = model.encoder.node_embedding.data.copy()
+        try:
+            model.encoder.node_embedding.data += 0.1
+            after = service.screen(2, top_k=4)
+            assert service._store is None
+            assert ([h.probability for h in before]
+                    != [h.probability for h in after])
+        finally:
+            model.encoder.node_embedding.data = original
+
+    def test_cache_snapshot_round_trips_manifest(self, setup, tmp_path):
+        service = _service(setup, block_size=9)
+        expected = _hits([service.screen(3, top_k=5)])[0]
+        service.save_shards(tmp_path / "store", num_shards=3)
+        snapshot = service.save_cache(tmp_path / "cache.npz")
+
+        warm = _service(setup)
+        assert warm.load_cache(snapshot)
+        # The manifest rode along and the store reattached automatically.
+        assert warm._cache.shard_manifest is not None
+        assert warm._store is not None
+        hits = _hits([warm.screen(3, top_k=5, parallel=False)])[0]
+        assert hits == expected
+        assert warm.stats.corpus_encodes == 0
+
+
+# ---------------------------------------------------------------------------
+# executor over a synthetic store (no model in the loop)
+# ---------------------------------------------------------------------------
+class TestExecutor:
+    def test_executor_bitwise_matches_serial(self, tmp_path):
+        decoder, emb, proj = _synthetic(seed=9, n=150, d=10)
+        kernel = make_screen_kernel(decoder)
+        query_proj = decoder.project_queries(emb[[3, 99]],
+                                             sides=("as_left",))
+        manifest = ShardStore.save(tmp_path / "s", emb, proj, num_shards=4,
+                                   block_size=16)
+        catalog = ShardStore(manifest).catalog()
+        serial = catalog.screen(exact_score_fn(kernel, query_proj), 2, 11,
+                                exclude=np.array([3, 99]))
+        with ParallelShardExecutor(manifest, num_workers=2) as executor:
+            parallel = executor.screen(kernel, query_proj, 2, 11,
+                                       exclude=np.array([3, 99]))
+        for (si, ss), (pi, ps) in zip(serial, parallel):
+            np.testing.assert_array_equal(pi, si)
+            np.testing.assert_array_equal(ps, ss)
+
+    def test_executor_reusable_after_close(self, tmp_path):
+        decoder, emb, proj = _synthetic(seed=2, n=40, d=6)
+        kernel = make_screen_kernel(decoder)
+        query_proj = decoder.project_queries(emb[[0]], sides=("as_left",))
+        manifest = ShardStore.save(tmp_path / "s", emb, proj, num_shards=2)
+        executor = ParallelShardExecutor(manifest, num_workers=2)
+        first = executor.screen(kernel, query_proj, 1, 5)
+        executor.close()
+        second = executor.screen(kernel, query_proj, 1, 5)  # new pool
+        executor.close()
+        np.testing.assert_array_equal(first[0][0], second[0][0])
+
+    def test_bad_worker_count_rejected(self, tmp_path):
+        _, emb, proj = _synthetic(n=10)
+        manifest = ShardStore.save(tmp_path / "s", emb, proj)
+        with pytest.raises(ValueError, match="num_workers"):
+            ParallelShardExecutor(manifest, num_workers=0)
+
+    def test_kernels_pickle_weight_free(self, setup):
+        import pickle
+        _, _, model, _, _ = setup
+        kernel = make_screen_kernel(model.decoder)
+        payload = pickle.dumps(kernel)
+        assert len(payload) < 200  # no weights, no scratch
+        clone = pickle.loads(payload)
+        assert type(clone) is type(kernel)
+
+
+# ---------------------------------------------------------------------------
+# satellite regressions
+# ---------------------------------------------------------------------------
+class TestCacheVersionUniqueness:
+    """The `_catalog` memoization key can never collide across caches."""
+
+    def _cache_with(self, emb):
+        cache = EmbeddingCache()
+        context = EncoderContext(layer_node_feats=(Tensor(np.zeros((2, 2))),))
+        cache.install(("fast", ()), context, emb)
+        return cache
+
+    def test_versions_globally_unique_across_instances(self):
+        c1 = self._cache_with(np.zeros((2, 3)))
+        c2 = self._cache_with(np.zeros((2, 3)))
+        assert c1.version != c2.version
+        seen = {c1.version, c2.version}
+        c1.drop()
+        assert c1.version not in seen
+
+    def test_loaded_snapshot_gets_fresh_version(self, tmp_path):
+        cache = self._cache_with(np.ones((3, 2)))
+        path = cache.save(tmp_path / "c.npz")
+        loaded = EmbeddingCache.load(path)
+        assert loaded.version != 0
+        assert loaded.version != cache.version
+
+    def test_snapshot_over_warm_service_never_serves_stale_engine(
+            self, setup, tmp_path):
+        """Regression: a freshly loaded cache restarts its local state, and
+        the old key scheme (`version += 1` from 0) could collide with the
+        warm service's memoized engine — serving embeddings the snapshot
+        replaced.  Globally unique versions make collision impossible."""
+        service = _service(setup, block_size=6, num_shards=2)
+        expected = _hits([service.screen(0, top_k=4)])[0]
+        engine_before = service._catalog_engine
+        assert engine_before is not None
+        # Emulate a pre-projection-era snapshot: the loaded cache will bump
+        # its version lazily on the first screen, exactly the sequence that
+        # used to recreate the old engine's key.
+        service._cache.projections = None
+        path = service._cache.save(tmp_path / "snap.npz",
+                                   catalog_digest=service._catalog_digest())
+        assert service.load_cache(path)
+        hits = _hits([service.screen(0, top_k=4)])[0]
+        assert service._catalog_engine is not engine_before
+        assert (service._catalog_engine._embeddings
+                is service._cache.embeddings)
+        assert hits == expected
+
+
+class TestApproxStats:
+    def test_prefilter_and_rescore_counted_separately(self, setup):
+        _, config, *_ = setup
+        if config.decoder != "dot":
+            pytest.skip("approximate mode is dot-decoder only")
+        service = _service(setup)
+        service.screen(0, top_k=3)  # warm the cache
+        n = service.num_drugs
+        base_scored = service.stats.pairs_scored
+        base_prefilter = service.stats.prefilter_pairs
+        service.screen(0, top_k=3, approx=True, approx_oversample=4)
+        # The whole catalog went through the prefilter once ...
+        assert service.stats.prefilter_pairs - base_prefilter == n
+        # ... but only the shortlist (top_k * oversample, minus nothing
+        # here) was exact-scored — not num_drugs.
+        rescored = service.stats.pairs_scored - base_scored
+        assert rescored == 12
+        assert rescored < n
+
+    def test_exact_mode_counts_unchanged(self, setup):
+        service = _service(setup)
+        service.screen(0, top_k=3)
+        base = service.stats.pairs_scored
+        service.screen(1, top_k=3)
+        assert service.stats.pairs_scored - base == service.num_drugs
+        assert service.stats.prefilter_pairs == 0
+
+
+class TestResolveExcludeDeterminism:
+    def test_resolved_indices_sorted_and_unique(self, setup):
+        service = _service(setup)
+        resolved = service._resolve_exclude(
+            ("drug_7", 3, "drug_1", 19, 3, "drug_19"))
+        np.testing.assert_array_equal(resolved, [1, 3, 7, 19])
+        again = service._resolve_exclude(
+            (19, "drug_3", 7, "drug_19", 1, "drug_3"))
+        np.testing.assert_array_equal(again, [1, 3, 7, 19])
