@@ -1,0 +1,267 @@
+"""Encoder-kernel benchmark: fused segment-attention vs the unfused path.
+
+The HyGNN encoder's two attention levels (Eqs. 4-9) are the shared hot path
+of training epochs, corpus cold-start encodes, and every experiment sweep.
+The fused ``incidence_scores`` / ``segment_attend`` kernels stream the
+incidence entries through O(block · d) scratch instead of materialising
+five ``(nnz, d)`` intermediates per level, while preserving the unfused
+summation order exactly.
+
+This script gates all four claims at a DrugBank-scale synthetic hypergraph
+(~2k drugs, ~50k incidences, hidden 128) and exits non-zero on any failure:
+
+1. full-corpus eval-mode encode at least ``--min-encode-speedup`` (2x)
+   faster fused than unfused;
+2. a taped training epoch (encoder + MLP pair decoder + BCE, forward +
+   backward replay) at least ``--min-epoch-speedup`` (1.5x) faster on the
+   fused tape than on the unfused tape;
+3. peak traced memory of a fused encode below 1/3 of the unfused encode's
+   (tracemalloc over the whole eager encode; the persistent (V, d)/(E, d)
+   outputs are identical in both modes, so the ratio is driven entirely by
+   the intermediates each path allocates);
+4. fused eval-mode embeddings bitwise-identical to the unfused (pre-PR)
+   encoder, so serving caches and fingerprints are unaffected.
+
+Measured numbers are written to a machine-readable ``BENCH_encoder.json``
+so the perf trajectory is tracked across PRs.
+
+    PYTHONPATH=src python benchmarks/bench_encoder.py          # full gate
+    PYTHONPATH=src python benchmarks/bench_encoder.py --quick  # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core import HyGNNEncoder, MLPDecoder, fused_kernels
+from repro.hypergraph import Hypergraph
+from repro.nn import Tape, bce_with_logits
+from repro.nn import functional as F
+
+
+def make_hypergraph(num_drugs: int, num_substructures: int,
+                    incidences: int, seed: int) -> Hypergraph:
+    """Random DrugBank-shaped incidence: every drug keeps >= 1 substructure."""
+    rng = np.random.default_rng(seed)
+    node_ids = np.concatenate([
+        rng.integers(0, num_substructures, size=incidences),
+        rng.integers(0, num_substructures, size=num_drugs)])
+    edge_ids = np.concatenate([
+        rng.integers(0, num_drugs, size=incidences),
+        np.arange(num_drugs)])
+    return Hypergraph(num_substructures, num_drugs, node_ids, edge_ids)
+
+
+def _best_seconds(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _peak_bytes(fn) -> int:
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return peak
+
+
+def _epoch_tape(encoder, hypergraph, pairs, labels, decoder) -> Tape:
+    """One training step — encode, score shuffled pairs, BCE — as a tape."""
+    def step():
+        embeddings = encoder.encode_hypergraph(hypergraph)
+        left = F.gather_rows(embeddings, pairs[:, 0])
+        right = F.gather_rows(embeddings, pairs[:, 1])
+        return bce_with_logits(decoder(left, right), labels)
+    return Tape.record(step)
+
+
+def run(num_drugs: int, num_substructures: int, incidences: int,
+        hidden_dim: int, num_pairs: int, repeats: int,
+        min_encode_speedup: float, min_epoch_speedup: float,
+        max_scratch_fraction: float, output: str, seed: int = 0) -> int:
+    print(f"building synthetic hypergraph: {num_drugs} drugs, "
+          f"{num_substructures} substructures, ~{incidences} incidences ...",
+          flush=True)
+    hypergraph = make_hypergraph(num_drugs, num_substructures, incidences,
+                                 seed)
+    print(f"  {hypergraph}")
+    rng = np.random.default_rng(seed + 1)
+    encoder = HyGNNEncoder(num_substructures, embed_dim=hidden_dim,
+                           hidden_dim=hidden_dim,
+                           rng=np.random.default_rng(seed + 2), dropout=0.0)
+    encoder.eval()
+    pairs = rng.integers(0, num_drugs, size=(num_pairs, 2))
+    labels = rng.integers(0, 2, size=num_pairs).astype(np.float64)
+    decoder = MLPDecoder(hidden_dim, hidden_dim, np.random.default_rng(seed + 3))
+
+    # 1 + 4: eval-mode encode speed and bitwise parity.  The unfused path is
+    # the pre-PR encoder op-for-op, so fused == unfused here implies serving
+    # caches and weight fingerprints are unaffected.
+    print(f"timing full-corpus encode (best of {repeats}) ...", flush=True)
+    with fused_kernels(False):
+        unfused_s = _best_seconds(
+            lambda: encoder.encode_hypergraph(hypergraph), repeats)
+        reference = encoder.encode_hypergraph(hypergraph).numpy().copy()
+    with fused_kernels(True):
+        fused_s = _best_seconds(
+            lambda: encoder.encode_hypergraph(hypergraph), repeats)
+        fused = encoder.encode_hypergraph(hypergraph).numpy().copy()
+    encode_speedup = unfused_s / fused_s
+    bitwise = bool(np.array_equal(reference, fused))
+
+    # 2: taped train epoch (forward + backward replay), fused vs unfused tape.
+    print("timing taped train epochs ...", flush=True)
+    encoder.train()
+
+    def epoch(tape):
+        tape.forward()
+        tape.backward()
+
+    with fused_kernels(False):
+        unfused_tape = _epoch_tape(encoder, hypergraph, pairs, labels, decoder)
+        unfused_epoch_s = _best_seconds(lambda: epoch(unfused_tape), repeats)
+    with fused_kernels(True):
+        fused_tape = _epoch_tape(encoder, hypergraph, pairs, labels, decoder)
+        fused_epoch_s = _best_seconds(lambda: epoch(fused_tape), repeats)
+    epoch_speedup = unfused_epoch_s / fused_epoch_s
+    loss_drift = abs(unfused_tape.root.item() - fused_tape.root.item())
+
+    # 3: peak scratch of one eval encode (eager, so every intermediate is a
+    # fresh traced allocation; the (V, d)/(E, d) outputs are common to both).
+    print("measuring peak encode scratch (tracemalloc) ...", flush=True)
+    encoder.eval()
+    with fused_kernels(False):
+        unfused_peak = _peak_bytes(
+            lambda: encoder.encode_hypergraph(hypergraph))
+    with fused_kernels(True):
+        fused_peak = _peak_bytes(
+            lambda: encoder.encode_hypergraph(hypergraph))
+
+    print(f"\n  encode: unfused {unfused_s * 1000:8.1f} ms   fused "
+          f"{fused_s * 1000:8.1f} ms   speedup {encode_speedup:5.2f}x  "
+          f"(gate: >= {min_encode_speedup}x)")
+    print(f"  taped epoch: unfused {unfused_epoch_s * 1000:8.1f} ms   fused "
+          f"{fused_epoch_s * 1000:8.1f} ms   speedup {epoch_speedup:5.2f}x  "
+          f"(gate: >= {min_epoch_speedup}x)")
+    print(f"  peak encode scratch: unfused {unfused_peak / 1e6:8.2f} MB   "
+          f"fused {fused_peak / 1e6:8.2f} MB  "
+          f"(gate: fused < unfused * {max_scratch_fraction})")
+    print(f"  eval-mode embeddings bitwise-identical: {bitwise}")
+    print(f"  taped-epoch loss drift (summation-order only): {loss_drift:.2e}")
+
+    failures = []
+    if not bitwise:
+        failures.append("fused embeddings are not bitwise-identical to the "
+                        "unfused encoder")
+    if encode_speedup < min_encode_speedup:
+        failures.append(f"encode speedup {encode_speedup:.2f}x below the "
+                        f"{min_encode_speedup}x floor")
+    if epoch_speedup < min_epoch_speedup:
+        failures.append(f"taped-epoch speedup {epoch_speedup:.2f}x below "
+                        f"the {min_epoch_speedup}x floor")
+    if fused_peak >= unfused_peak * max_scratch_fraction:
+        failures.append(f"fused peak scratch {fused_peak / 1e6:.2f} MB not "
+                        f"< {max_scratch_fraction} of unfused "
+                        f"{unfused_peak / 1e6:.2f} MB")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if not failures:
+        print("  OK")
+
+    results = {
+        "config": {
+            "num_drugs": num_drugs,
+            "num_substructures": num_substructures,
+            "num_incidences": hypergraph.num_incidences,
+            "hidden_dim": hidden_dim,
+            "num_pairs": num_pairs,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "encode_ms": {"unfused": unfused_s * 1000, "fused": fused_s * 1000},
+        "encode_speedup": encode_speedup,
+        "taped_epoch_ms": {"unfused": unfused_epoch_s * 1000,
+                           "fused": fused_epoch_s * 1000},
+        "taped_epoch_speedup": epoch_speedup,
+        "peak_encode_bytes": {"unfused": unfused_peak, "fused": fused_peak},
+        "bitwise_identical": bitwise,
+        "gates": {
+            "min_encode_speedup": min_encode_speedup,
+            "min_epoch_speedup": min_epoch_speedup,
+            "max_scratch_fraction": max_scratch_fraction,
+        },
+        "failures": failures,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"  wrote {output}")
+    return 1 if failures else 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="CI-sized smoke run with relaxed floors")
+    parser.add_argument("--drugs", type=int, default=None)
+    parser.add_argument("--substructures", type=int, default=None)
+    parser.add_argument("--incidences", type=int, default=None)
+    parser.add_argument("--hidden", type=int, default=None)
+    parser.add_argument("--pairs", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    parser.add_argument("--min-encode-speedup", type=float, default=None)
+    parser.add_argument("--min-epoch-speedup", type=float, default=None)
+    # --quick writes to a separate file by default so a smoke run never
+    # clobbers the committed full-gate record.
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    if args.output is None:
+        args.output = ("BENCH_encoder_quick.json" if args.quick
+                       else "BENCH_encoder.json")
+    if args.quick:
+        # CI smoke: small enough to finish in seconds; timing floors loose —
+        # shared runners are variance-prone and small graphs amortise the
+        # python-level blocking loop less.  Parity and memory gates stay on.
+        defaults = {"drugs": 400, "substructures": 500, "incidences": 8_000,
+                    "hidden": 64, "pairs": 4_000, "repeats": 3,
+                    "min_encode_speedup": 1.2, "min_epoch_speedup": 1.05,
+                    "max_scratch_fraction": 1 / 2}
+    else:
+        defaults = {"drugs": 2_000, "substructures": 1_500,
+                    "incidences": 50_000, "hidden": 128, "pairs": 20_000,
+                    "repeats": 5, "min_encode_speedup": 2.0,
+                    "min_epoch_speedup": 1.5, "max_scratch_fraction": 1 / 3}
+    def resolve(name):
+        value = getattr(args, name)
+        return defaults[name] if value is None else value
+
+    return run(
+        num_drugs=resolve("drugs"),
+        num_substructures=resolve("substructures"),
+        incidences=resolve("incidences"),
+        hidden_dim=resolve("hidden"),
+        num_pairs=resolve("pairs"),
+        repeats=resolve("repeats"),
+        min_encode_speedup=resolve("min_encode_speedup"),
+        min_epoch_speedup=resolve("min_epoch_speedup"),
+        max_scratch_fraction=defaults["max_scratch_fraction"],
+        output=args.output,
+        seed=args.seed)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

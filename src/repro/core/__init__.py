@@ -1,7 +1,8 @@
 """``repro.core`` — the HyGNN model (paper Sec. III): attention encoder,
 MLP/dot decoders, end-to-end trainer, and the Table IV grid search."""
 
-from .attention import HyperedgeLevelAttention, NodeLevelAttention
+from .attention import (HyperedgeLevelAttention, NodeLevelAttention,
+                        fused_kernels, fused_kernels_enabled)
 from .config import PAPER_GRID, HyGNNConfig
 from .decoder import DotDecoder, MLPDecoder, make_decoder
 from .encoder import EncoderContext, HyGNNEncoder
@@ -12,6 +13,7 @@ from .trainer import Trainer, TrainingHistory, train_hygnn
 
 __all__ = [
     "HyperedgeLevelAttention", "NodeLevelAttention",
+    "fused_kernels", "fused_kernels_enabled",
     "HyGNNConfig", "PAPER_GRID",
     "MLPDecoder", "DotDecoder", "make_decoder",
     "HyGNNEncoder", "EncoderContext", "HyGNN",

@@ -9,15 +9,83 @@ Eq. (6)/(9) score the affinity between a node and a hyperedge as
 ``β(W_a x ∗ W_b y)`` with ``∗`` the element-wise product and β a LeakyReLU;
 the element-wise product is reduced to a scalar by summation (a bilinear
 dot-product attention), the standard reading of the paper's notation.
+
+Fused kernels
+-------------
+By default both levels run on the fused segment-attention kernels
+(:func:`repro.nn.functional.incidence_scores` /
+:func:`repro.nn.functional.segment_attend`), which stream the incidence
+entries through O(block · d) scratch instead of materialising five
+``(nnz, d)`` intermediates per level.  The kernels preserve the unfused
+summation order, so outputs are bitwise-identical to the reference
+composition; :func:`fused_kernels` toggles the reference path back on for
+parity tests and benchmarks.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 
 from ..nn import Linear, Module, Tensor
 from ..nn import functional as F
 from ..nn.functional import SegmentPartition
+
+_FUSED_ENABLED = True
+
+
+def fused_kernels_enabled() -> bool:
+    """Whether the attention levels run on the fused kernels (default on)."""
+    return _FUSED_ENABLED
+
+
+@contextmanager
+def fused_kernels(enabled: bool):
+    """Context manager that switches the fused encoder kernels on or off.
+
+    The unfused path composes the same arithmetic from ``gather_rows`` /
+    ``mul`` / ``segment_sum`` and exists as the bitwise reference the fused
+    kernels are gated against (tests, ``benchmarks/bench_encoder.py``).
+    Tapes capture whichever ops were live at record time, so a recorded
+    tape keeps its mode regardless of later toggles.
+    """
+    global _FUSED_ENABLED
+    previous = _FUSED_ENABLED
+    _FUSED_ENABLED = bool(enabled)
+    try:
+        yield
+    finally:
+        _FUSED_ENABLED = previous
+
+
+def _incidence_scores(keys: Tensor, queries: Tensor, key_ids: np.ndarray,
+                      query_ids: np.ndarray,
+                      key_partition: SegmentPartition | None,
+                      query_partition: SegmentPartition | None) -> Tensor:
+    """Eq. (6)/(9) raw scores, fused or via the reference composition."""
+    if _FUSED_ENABLED:
+        return F.incidence_scores(keys, queries, key_ids, query_ids,
+                                  key_partition=key_partition,
+                                  query_partition=query_partition)
+    return (F.gather_rows(keys, key_ids)
+            * F.gather_rows(queries, query_ids)).sum(axis=1)
+
+
+def _attend(attention: Tensor, transformed: Tensor, value_ids: np.ndarray,
+            segment_ids: np.ndarray, num_segments: int,
+            partition: SegmentPartition | None,
+            value_partition: SegmentPartition | None) -> Tensor:
+    """Eq. (4)/(7) attention-weighted aggregation, fused or reference."""
+    if _FUSED_ENABLED:
+        return F.segment_attend(attention, transformed, value_ids,
+                                segment_ids, num_segments,
+                                partition=partition,
+                                value_partition=value_partition)
+    messages = (F.gather_rows(transformed, value_ids)
+                * attention.reshape(-1, 1))
+    return F.segment_sum(messages, segment_ids, num_segments,
+                         partition=partition)
 
 
 class HyperedgeLevelAttention(Module):
@@ -40,24 +108,26 @@ class HyperedgeLevelAttention(Module):
 
     def forward(self, node_feats: Tensor, edge_feats: Tensor,
                 node_ids: np.ndarray, edge_ids: np.ndarray,
-                node_partition: SegmentPartition | None = None) -> Tensor:
+                node_partition: SegmentPartition | None = None,
+                edge_partition: SegmentPartition | None = None) -> Tensor:
+        """``node_partition`` groups incidences by node (the softmax
+        segments); ``edge_partition`` groups them by hyperedge and only
+        speeds up the backward scatter."""
         num_nodes = node_feats.shape[0]
         transformed = self.w1(edge_feats)                    # (E, out)
         keys = self.w2(edge_feats)                           # (E, a)
         queries = self.w3(node_feats)                        # (V, a)
         # Eq. (6): score per incidence entry, grouped by node.
         scores = F.leaky_relu(
-            (F.gather_rows(keys, edge_ids) * F.gather_rows(queries, node_ids)
-             ).sum(axis=1),
+            _incidence_scores(keys, queries, edge_ids, node_ids,
+                              edge_partition, node_partition),
             self.negative_slope)
         # Eq. (5): softmax over the hyperedges containing each node.
         attention = F.segment_softmax(scores, node_ids, num_nodes,
                                       partition=node_partition)
         # Eq. (4): attention-weighted sum of transformed hyperedge features.
-        messages = (F.gather_rows(transformed, edge_ids)
-                    * attention.reshape(-1, 1))
-        aggregated = F.segment_sum(messages, node_ids, num_nodes,
-                                   partition=node_partition)
+        aggregated = _attend(attention, transformed, edge_ids, node_ids,
+                             num_nodes, node_partition, edge_partition)
         return F.leaky_relu(aggregated, self.negative_slope)
 
 
@@ -79,38 +149,44 @@ class NodeLevelAttention(Module):
         self.w6 = Linear(edge_dim, attention_dim, rng, bias=False)
         self.negative_slope = negative_slope
 
-    def forward(self, node_feats: Tensor, edge_feats: Tensor,
+    def _scores(self, node_feats: Tensor, edge_feats: Tensor,
                 node_ids: np.ndarray, edge_ids: np.ndarray,
-                edge_partition: SegmentPartition | None = None) -> Tensor:
-        num_edges = edge_feats.shape[0]
-        transformed = self.w4(node_feats)                    # (V, out)
+                edge_partition: SegmentPartition | None,
+                node_partition: SegmentPartition | None) -> Tensor:
         keys = self.w5(node_feats)                           # (V, a)
         queries = self.w6(edge_feats)                        # (E, a)
         # Eq. (9): score per incidence entry, grouped by hyperedge.
-        scores = F.leaky_relu(
-            (F.gather_rows(keys, node_ids) * F.gather_rows(queries, edge_ids)
-             ).sum(axis=1),
+        return F.leaky_relu(
+            _incidence_scores(keys, queries, node_ids, edge_ids,
+                              node_partition, edge_partition),
             self.negative_slope)
+
+    def forward(self, node_feats: Tensor, edge_feats: Tensor,
+                node_ids: np.ndarray, edge_ids: np.ndarray,
+                edge_partition: SegmentPartition | None = None,
+                node_partition: SegmentPartition | None = None) -> Tensor:
+        """``edge_partition`` groups incidences by hyperedge (the softmax
+        segments); ``node_partition`` groups them by node and only speeds
+        up the backward scatter."""
+        num_edges = edge_feats.shape[0]
+        transformed = self.w4(node_feats)                    # (V, out)
+        scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
+                              edge_partition, node_partition)
         # Eq. (8): softmax over the nodes inside each hyperedge.
         attention = F.segment_softmax(scores, edge_ids, num_edges,
                                       partition=edge_partition)
         # Eq. (7): attention-weighted sum of transformed node features.
-        messages = (F.gather_rows(transformed, node_ids)
-                    * attention.reshape(-1, 1))
-        aggregated = F.segment_sum(messages, edge_ids, num_edges,
-                                   partition=edge_partition)
+        aggregated = _attend(attention, transformed, node_ids, edge_ids,
+                             num_edges, edge_partition, node_partition)
         return F.leaky_relu(aggregated, self.negative_slope)
 
     def attention_weights(self, node_feats: Tensor, edge_feats: Tensor,
                           node_ids: np.ndarray, edge_ids: np.ndarray,
-                          edge_partition: SegmentPartition | None = None
+                          edge_partition: SegmentPartition | None = None,
+                          node_partition: SegmentPartition | None = None
                           ) -> np.ndarray:
         """Expose X_ji per incidence entry (for substructure importance)."""
-        keys = self.w5(node_feats)
-        queries = self.w6(edge_feats)
-        scores = F.leaky_relu(
-            (F.gather_rows(keys, node_ids) * F.gather_rows(queries, edge_ids)
-             ).sum(axis=1),
-            self.negative_slope)
+        scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
+                              edge_partition, node_partition)
         return F.segment_softmax(scores, edge_ids, edge_feats.shape[0],
                                  partition=edge_partition).numpy()

@@ -129,24 +129,52 @@ class HyGNNEncoder(Module):
         if partitions is None:
             partitions = (SegmentPartition(node_ids, self.num_substructures),
                           SegmentPartition(edge_ids, num_edges))
+        edge_feats, context = self._sweep(node_ids, edge_ids, num_edges,
+                                          partitions, dropout=self.dropout)
+        return edge_feats, EncoderContext(layer_node_feats=tuple(context))
+
+    def _sweep(self, node_ids: np.ndarray, edge_ids: np.ndarray,
+               num_edges: int,
+               partitions: tuple[SegmentPartition, SegmentPartition],
+               dropout: Dropout | None, final_attention: bool = False):
+        """The per-layer alternation shared by every full-corpus walk.
+
+        Runs hyperedge-level then node-level attention across all layers
+        (Eqs. 2-3), threading both cached partitions into every kernel (the
+        grouping partition for the softmax segments, the complementary one
+        for the fused backward scatters).  Returns ``(edge_feats,
+        layer_node_feats)`` — or, with ``final_attention=True``, the last
+        layer's node-level attention coefficients instead of running its
+        aggregation (the interpretability output, which therefore cannot
+        drift from the encoder it shares this sweep with; that path passes
+        ``dropout=None`` to keep its historical always-deterministic
+        semantics).
+        """
         node_part, edge_part = partitions
         node_feats, edge_feats = self.initial_features(
             node_ids, edge_ids, num_edges, edge_partition=edge_part)
-        if self.dropout is not None:
-            node_feats = self.dropout(node_feats)
+        if dropout is not None:
+            node_feats = dropout(node_feats)
         context: list[Tensor] = []
-        for edge_level, node_level in self.layers:
+        last = len(self.layers) - 1
+        for index, (edge_level, node_level) in enumerate(self.layers):
             # Eq. (2): node representations from incident hyperedges.
             new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids,
-                                   node_partition=node_part)
+                                   node_partition=node_part,
+                                   edge_partition=edge_part)
             context.append(new_nodes)
+            if final_attention and index == last:
+                return node_level.attention_weights(
+                    new_nodes, edge_feats, node_ids, edge_ids,
+                    edge_partition=edge_part, node_partition=node_part)
             # Eq. (3): hyperedge representations from member nodes.
             edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids,
-                                    edge_partition=edge_part)
+                                    edge_partition=edge_part,
+                                    node_partition=node_part)
             node_feats = new_nodes
-            if self.dropout is not None:
-                edge_feats = self.dropout(edge_feats)
-        return edge_feats, EncoderContext(layer_node_feats=tuple(context))
+            if dropout is not None:
+                edge_feats = dropout(edge_feats)
+        return edge_feats, context
 
     def encode_edges_subset(self, context: EncoderContext,
                             node_ids: np.ndarray, edge_ids: np.ndarray,
@@ -205,21 +233,11 @@ class HyGNNEncoder(Module):
 
         High values flag the substructures the model deems responsible for a
         drug's interactions (the paper's interpretability claim, Sec. I).
+        Shares :meth:`_sweep` with :meth:`encode_with_context`, so the
+        interpretability output runs the exact encoder layer stack.
         """
-        node_ids, edge_ids = hypergraph.node_ids, hypergraph.edge_ids
-        node_part = hypergraph.node_partition
-        edge_part = hypergraph.edge_partition
-        node_feats, edge_feats = self.initial_features(
-            node_ids, edge_ids, hypergraph.num_edges,
-            edge_partition=edge_part)
-        for index, (edge_level, node_level) in enumerate(self.layers):
-            new_nodes = edge_level(node_feats, edge_feats, node_ids, edge_ids,
-                                   node_partition=node_part)
-            if index == len(self.layers) - 1:
-                return node_level.attention_weights(
-                    new_nodes, edge_feats, node_ids, edge_ids,
-                    edge_partition=edge_part)
-            edge_feats = node_level(new_nodes, edge_feats, node_ids, edge_ids,
-                                    edge_partition=edge_part)
-            node_feats = new_nodes
-        raise AssertionError("unreachable: encoder has >= 1 layer")
+        return self._sweep(hypergraph.node_ids, hypergraph.edge_ids,
+                           hypergraph.num_edges,
+                           (hypergraph.node_partition,
+                            hypergraph.edge_partition),
+                           dropout=None, final_attention=True)

@@ -5,7 +5,8 @@ equivalent machinery on numpy so the whole reproduction runs offline:
 
 - :mod:`repro.nn.tensor` — reverse-mode autodiff tensors (registry-style ops)
 - :mod:`repro.nn.tape` — compiled, replayable op graphs (``Tape``)
-- :mod:`repro.nn.functional` — activations, segment ops, sparse matmul
+- :mod:`repro.nn.functional` — activations, segment ops, fused
+  segment-attention kernels, sparse matmul
 - :mod:`repro.nn.modules` — ``Module`` / ``Linear`` / ``Dropout`` / ``MLP``
 - :mod:`repro.nn.optim` — SGD / Adam
 - :mod:`repro.nn.losses` — BCE (Eq. 13), MSE

@@ -4,7 +4,12 @@ Beyond the usual activations this module provides the *segment* operations
 (``segment_sum``, ``segment_softmax``, ``segment_mean``) that make sparse
 message passing tractable: hypergraph attention (HyGNN Eqs. 4-9) and graph
 attention (GAT) are both softmaxes over variable-sized neighbourhoods, which
-we flatten into (entry, segment-id) pairs and normalise per segment.
+we flatten into (entry, segment-id) pairs and normalise per segment.  The
+fused kernels ``incidence_scores`` and ``segment_attend`` compute the two
+expensive halves of that attention — per-incidence bilinear scores and the
+attention-weighted aggregation — blockwise, without the ``(nnz, d)``
+intermediates the composed ops materialise, while preserving their
+summation order bitwise.
 
 Every op follows the registry contract of :func:`repro.nn.tensor.apply_op`:
 a ``forward(ctx, *arrays, out=None)`` / ``backward(ctx, out, *parents)``
@@ -18,7 +23,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from .tensor import (Tensor, apply_op, ctx_buffer, ctx_zeros, unbroadcast)
+from .tensor import (DEFAULT_DTYPE, Tensor, apply_op, ctx_buffer, ctx_zeros,
+                     unbroadcast)
 
 
 # ---------------------------------------------------------------------------
@@ -270,7 +276,7 @@ class SegmentPartition:
     """
 
     __slots__ = ("num_segments", "size", "order", "counts",
-                 "nonempty", "reduce_starts")
+                 "nonempty", "reduce_starts", "_inv_counts", "_plans")
 
     def __init__(self, segment_ids: np.ndarray, num_segments: int):
         segment_ids = _check_segments(segment_ids, num_segments)
@@ -285,10 +291,60 @@ class SegmentPartition:
         np.cumsum(self.counts[:-1], out=starts[1:])
         self.nonempty = np.flatnonzero(self.counts)
         self.reduce_starts = starts[self.nonempty]
+        self._inv_counts: np.ndarray | None = None
+        self._plans: dict[int, tuple] = {}
+
+    @property
+    def inv_counts(self) -> np.ndarray:
+        """Cached ``1 / max(counts, 1)`` — the :func:`segment_mean` scale.
+
+        Computed once per partition instead of on every call (and every tape
+        replay): the partition is immutable, so the reciprocal never changes.
+        """
+        if self._inv_counts is None:
+            self._inv_counts = 1.0 / np.maximum(
+                self.counts.astype(DEFAULT_DTYPE), 1.0)
+        return self._inv_counts
 
     def gather(self, values: np.ndarray) -> np.ndarray:
         """Rows of ``values`` reordered so each segment is contiguous."""
         return values if self.order is None else values[self.order]
+
+    def reduce_plan(self, block_rows: int) -> tuple:
+        """Cached blocking of the sorted rows into whole-segment chunks.
+
+        Returns ``(blocks, max_rows, max_segments)`` where each block is
+        ``(seg_lo, seg_hi, row_lo, row_hi, local_starts)``: a run of
+        consecutive *non-empty* segments whose rows span
+        ``[row_lo, row_hi)`` in partition order, at most ``block_rows`` rows
+        unless a single segment alone exceeds the budget.  Because blocks
+        never split a segment, a per-block ``add.reduceat`` produces exactly
+        the same per-segment sums as one ``reduceat`` over the full sorted
+        array — that is what keeps the fused kernels bitwise-identical to
+        :meth:`reduce`.
+        """
+        plan = self._plans.get(block_rows)
+        if plan is None:
+            starts = self.reduce_starts
+            blocks: list[tuple] = []
+            max_rows = max_segments = 0
+            if starts.size:
+                ends = np.append(starts[1:], self.size)
+                i, nseg = 0, starts.size
+                while i < nseg:
+                    row_lo = int(starts[i])
+                    j = int(np.searchsorted(ends, row_lo + block_rows,
+                                            side="right"))
+                    if j <= i:      # one oversized segment gets its own block
+                        j = i + 1
+                    row_hi = int(ends[j - 1])
+                    blocks.append((i, j, row_lo, row_hi, starts[i:j] - row_lo))
+                    max_rows = max(max_rows, row_hi - row_lo)
+                    max_segments = max(max_segments, j - i)
+                    i = j
+            plan = (blocks, max_rows, max_segments)
+            self._plans[block_rows] = plan
+        return plan
 
     def reduce(self, values: np.ndarray, ufunc=np.add,
                out: np.ndarray | None = None) -> np.ndarray:
@@ -353,12 +409,12 @@ def segment_mean(x: Tensor, segment_ids: np.ndarray, num_segments: int,
     """Per-segment mean; empty segments produce zeros."""
     segment_ids = _check_segments(segment_ids, num_segments)
     if partition is not None:
-        counts = partition.counts.astype(x.data.dtype)
+        inv = partition.inv_counts          # cached reciprocal counts
     else:
         counts = np.bincount(segment_ids, minlength=num_segments).astype(x.data.dtype)
-    safe = np.maximum(counts, 1.0)
+        inv = 1.0 / np.maximum(counts, 1.0)
     summed = segment_sum(x, segment_ids, num_segments, partition=partition)
-    scale = (1.0 / safe).reshape((num_segments,) + (1,) * (x.ndim - 1))
+    scale = inv.reshape((num_segments,) + (1,) * (x.ndim - 1))
     return summed * Tensor(scale)
 
 
@@ -417,6 +473,303 @@ def segment_softmax(scores: Tensor, segment_ids: np.ndarray, num_segments: int,
                     ctx={"segment_ids": segment_ids,
                          "num_segments": num_segments,
                          "partition": partition})
+
+
+# ---------------------------------------------------------------------------
+# Fused attention kernels (blockwise, no (nnz, d) intermediates)
+# ---------------------------------------------------------------------------
+#
+# The HyGNN attention levels (Eqs. 4-9) are, per level:
+#
+#   scores[k]  = sum_d keys[key_ids[k], d] * queries[query_ids[k], d]
+#   att        = segment_softmax(leaky_relu(scores), segment_ids)
+#   out[s]     = sum_{k in seg(s)} att[k] * transformed[value_ids[k]]
+#
+# Composed from gather_rows / mul / sum / segment_sum, that materialises five
+# (nnz, d) intermediates per level.  ``incidence_scores`` and
+# ``segment_attend`` compute the same quantities streamed through
+# O(block * d) scratch instead.  Both are registry-style op pairs, so tapes
+# record and replay them with ctx-cached scratch, and both preserve the
+# unfused summation order exactly: row dots reduce each row independently
+# (identical to ``(a * b).sum(axis=1)``), and the attention-weighted SpMM
+# reduces whole segments per block in the cached ``SegmentPartition`` order
+# (identical to ``partition.reduce``), so outputs are bitwise-equal to the
+# unfused composition.
+
+# Scratch blocks target ~this many bytes per buffer; at hidden 128 that is
+# 512 rows — big enough to amortise the python loop, small enough to stay
+# cache-resident and keep peak scratch far below the (nnz, d) buffers.
+_FUSED_BLOCK_BYTES = 512 * 1024
+
+
+def _default_block_rows(dim: int, itemsize: int = 8) -> int:
+    return max(128, _FUSED_BLOCK_BYTES // max(1, dim * itemsize))
+
+
+def _blockwise_row_dot(a_table, a_ids, b_table, b_ids, out, ctx, prefix,
+                       block_rows):
+    """``out[k] = sum_d a_table[a_ids[k]] * b_table[b_ids[k]]`` blockwise.
+
+    Row reductions are independent, so computing them in (block, d) chunks
+    is bitwise-identical to ``(a_table[a_ids] * b_table[b_ids]).sum(axis=1)``
+    without ever materialising the two (nnz, d) gathers or their product.
+    """
+    n = a_ids.size
+    if n == 0:
+        return out
+    dim = a_table.shape[1]
+    rows = min(n, block_rows)
+    sa = ctx_buffer(ctx, prefix + "a", (rows, dim), a_table.dtype)
+    sb = ctx_buffer(ctx, prefix + "b", (rows, dim), b_table.dtype)
+    for lo in range(0, n, rows):
+        hi = min(lo + rows, n)
+        m = hi - lo
+        np.take(a_table, a_ids[lo:hi], axis=0, out=sa[:m])
+        np.take(b_table, b_ids[lo:hi], axis=0, out=sb[:m])
+        np.multiply(sa[:m], sb[:m], out=sa[:m])
+        np.sum(sa[:m], axis=1, out=out[lo:hi])
+    return out
+
+
+def _segment_scaled_gather_sum(partition, values, value_ids_sorted,
+                               weights_sorted, out, ctx, prefix, block_rows):
+    """``out[s] = sum_{k in seg(s)} weights[k] * values[value_ids[k]]``.
+
+    Entries arrive in partition (segment-contiguous) order; each block of
+    whole segments is gathered into scratch, scaled in place, and reduced
+    with a local ``add.reduceat`` — the same per-segment slices, hence the
+    same floating-point sums, as one ``reduceat`` over the full sorted
+    (nnz, d) array.  Empty segments keep ``out``'s prior fill.
+    """
+    blocks, max_rows, max_segments = partition.reduce_plan(block_rows)
+    if not blocks:
+        return out
+    dim = values.shape[1]
+    scratch = ctx_buffer(ctx, prefix + "rows", (max_rows, dim), values.dtype)
+    seg_out = ctx_buffer(ctx, prefix + "segs", (max_segments, dim),
+                         values.dtype)
+    nonempty = partition.nonempty
+    for seg_lo, seg_hi, row_lo, row_hi, local_starts in blocks:
+        m = row_hi - row_lo
+        k = seg_hi - seg_lo
+        np.take(values, value_ids_sorted[row_lo:row_hi], axis=0,
+                out=scratch[:m])
+        np.multiply(scratch[:m], weights_sorted[row_lo:row_hi, None],
+                    out=scratch[:m])
+        np.add.reduceat(scratch[:m], local_starts, axis=0, out=seg_out[:k])
+        out[nonempty[seg_lo:seg_hi]] = seg_out[:k]
+    return out
+
+
+def _scatter_scaled_rows(grad, ids, src_table, src_ids, weights, ctx, prefix,
+                         block_rows):
+    """``grad[ids[k]] += weights[k] * src_table[src_ids[k]]`` blockwise.
+
+    Fallback scatter for backward passes without a cached partition over
+    ``ids`` — unbuffered ``np.add.at``, but still O(block * d) scratch.
+    """
+    n = ids.size
+    if n == 0:
+        return grad
+    dim = src_table.shape[1]
+    rows = min(n, block_rows)
+    scratch = ctx_buffer(ctx, prefix + "rows", (rows, dim), src_table.dtype)
+    for lo in range(0, n, rows):
+        hi = min(lo + rows, n)
+        m = hi - lo
+        np.take(src_table, src_ids[lo:hi], axis=0, out=scratch[:m])
+        np.multiply(scratch[:m], weights[lo:hi, None], out=scratch[:m])
+        np.add.at(grad, ids[lo:hi], scratch[:m])
+    return grad
+
+
+def _sorted_ids(ctx, key, partition, ids):
+    """Cache ``ids`` reordered into ``partition``'s segment-contiguous order."""
+    cached = ctx.get(key)
+    if cached is None:
+        cached = partition.gather(ids)
+        ctx[key] = cached
+    return cached
+
+
+def _sorted_weights(ctx, key, partition, weights):
+    """``weights`` in partition order, via a reused scratch buffer."""
+    if partition.order is None:
+        return weights
+    return np.take(weights, partition.order,
+                   out=ctx_buffer(ctx, key, weights.shape, weights.dtype))
+
+
+def _partition_grad_scatter(ctx, partition, ids_key, other_ids, src_table,
+                            weights, grad, prefix):
+    """Partitioned scatter: segment-sort the entries by the gradient's row
+    id, then reuse the scaled-gather-reduce kernel (reduceat instead of the
+    unbuffered ``add.at``)."""
+    block_rows = ctx["block_rows"]
+    src_ids_sorted = _sorted_ids(ctx, ids_key, partition, other_ids)
+    weights_sorted = _sorted_weights(ctx, prefix + "w", partition, weights)
+    return _segment_scaled_gather_sum(partition, src_table, src_ids_sorted,
+                                      weights_sorted, grad, ctx, prefix,
+                                      block_rows)
+
+
+def _incidence_scores_forward(ctx, keys, queries, out=None):
+    key_ids, query_ids = ctx["key_ids"], ctx["query_ids"]
+    if out is None:
+        out = np.empty(key_ids.shape, dtype=keys.dtype)
+    return _blockwise_row_dot(keys, key_ids, queries, query_ids, out, ctx,
+                              "f_", ctx["block_rows"])
+
+
+def _incidence_scores_backward(ctx, out, keys, queries):
+    grad = out.grad
+    key_ids, query_ids = ctx["key_ids"], ctx["query_ids"]
+    block_rows = ctx["block_rows"]
+    grad_keys = grad_queries = None
+    if keys.requires_grad:
+        grad_keys = ctx_zeros(ctx, "gk", keys.data.shape, keys.data.dtype)
+        partition = ctx["key_partition"]
+        if partition is not None:
+            _partition_grad_scatter(ctx, partition, "q_by_k", query_ids,
+                                    queries.data, grad, grad_keys, "bk_")
+        else:
+            _scatter_scaled_rows(grad_keys, key_ids, queries.data, query_ids,
+                                 grad, ctx, "bk_", block_rows)
+    if queries.requires_grad:
+        grad_queries = ctx_zeros(ctx, "gq", queries.data.shape,
+                                 queries.data.dtype)
+        partition = ctx["query_partition"]
+        if partition is not None:
+            _partition_grad_scatter(ctx, partition, "k_by_q", key_ids,
+                                    keys.data, grad, grad_queries, "bq_")
+        else:
+            _scatter_scaled_rows(grad_queries, query_ids, keys.data, key_ids,
+                                 grad, ctx, "bq_", block_rows)
+    return grad_keys, grad_queries
+
+
+def _check_index_partition(partition: SegmentPartition | None,
+                           ids: np.ndarray, num_rows: int, name: str) -> None:
+    if partition is None:
+        return
+    if partition.num_segments != num_rows or partition.size != ids.size:
+        raise ValueError(f"{name} does not match the ids/table it groups")
+
+
+def incidence_scores(keys: Tensor, queries: Tensor, key_ids: np.ndarray,
+                     query_ids: np.ndarray, *,
+                     key_partition: SegmentPartition | None = None,
+                     query_partition: SegmentPartition | None = None,
+                     block_rows: int | None = None) -> Tensor:
+    """Per-incidence bilinear scores ``sum_d keys[key_ids]·queries[query_ids]``.
+
+    The fused Eq. (6)/(9) kernel: a 1-D score per (node, hyperedge)
+    incidence entry, computed blockwise so the two gathered ``(nnz, a)``
+    operands and their product are never materialised — bitwise-identical to
+    ``(gather_rows(keys, key_ids) * gather_rows(queries, query_ids)).sum(1)``.
+
+    ``key_partition`` / ``query_partition`` are optional
+    :class:`SegmentPartition` groupings of the incidence entries by
+    ``key_ids`` / ``query_ids``; when given, the backward scatter runs as a
+    cached-sort ``reduceat`` instead of an unbuffered ``np.add.at``
+    (round-off-level gradient difference, large speedup).
+    """
+    key_ids = np.asarray(key_ids, dtype=np.int64)
+    query_ids = np.asarray(query_ids, dtype=np.int64)
+    if key_ids.ndim != 1 or key_ids.shape != query_ids.shape:
+        raise ValueError("key_ids and query_ids must be equal-length 1-D")
+    if keys.data.ndim != 2 or queries.data.ndim != 2 \
+            or keys.data.shape[1] != queries.data.shape[1]:
+        raise ValueError("keys and queries must be 2-D with equal width")
+    _check_index_partition(key_partition, key_ids, keys.data.shape[0],
+                           "key_partition")
+    _check_index_partition(query_partition, query_ids, queries.data.shape[0],
+                           "query_partition")
+    if block_rows is None:
+        block_rows = _default_block_rows(keys.data.shape[1])
+    return apply_op("incidence_scores", (keys, queries),
+                    _incidence_scores_forward, _incidence_scores_backward,
+                    ctx={"key_ids": key_ids, "query_ids": query_ids,
+                         "key_partition": key_partition,
+                         "query_partition": query_partition,
+                         "block_rows": block_rows})
+
+
+def _segment_attend_forward(ctx, att, values, out=None):
+    partition: SegmentPartition = ctx["partition"]
+    if out is None:
+        out = np.zeros((partition.num_segments,) + values.shape[1:],
+                       dtype=values.dtype)
+    else:
+        out.fill(0)
+    value_ids_sorted = _sorted_ids(ctx, "v_by_s", partition, ctx["value_ids"])
+    weights_sorted = _sorted_weights(ctx, "fw_w", partition, att)
+    return _segment_scaled_gather_sum(partition, values, value_ids_sorted,
+                                      weights_sorted, out, ctx, "fw_",
+                                      ctx["block_rows"])
+
+
+def _segment_attend_backward(ctx, out, att, values):
+    grad = out.grad
+    segment_ids, value_ids = ctx["segment_ids"], ctx["value_ids"]
+    block_rows = ctx["block_rows"]
+    grad_att = grad_values = None
+    if att.requires_grad:
+        grad_att = ctx_buffer(ctx, "g_att", att.data.shape, att.data.dtype)
+        _blockwise_row_dot(grad, segment_ids, values.data, value_ids,
+                           grad_att, ctx, "ba_", block_rows)
+    if values.requires_grad:
+        grad_values = ctx_zeros(ctx, "g_val", values.data.shape,
+                                values.data.dtype)
+        partition = ctx["value_partition"]
+        if partition is not None:
+            _partition_grad_scatter(ctx, partition, "s_by_v", segment_ids,
+                                    grad, att.data, grad_values, "bv_")
+        else:
+            _scatter_scaled_rows(grad_values, value_ids, grad, segment_ids,
+                                 att.data, ctx, "bv_", block_rows)
+    return grad_att, grad_values
+
+
+def segment_attend(att: Tensor, values: Tensor, value_ids: np.ndarray,
+                   segment_ids: np.ndarray, num_segments: int, *,
+                   partition: SegmentPartition | None = None,
+                   value_partition: SegmentPartition | None = None,
+                   block_rows: int | None = None) -> Tensor:
+    """Attention-weighted SpMM ``out[s] = Σ_{k∈seg(s)} att[k]·values[value_ids[k]]``.
+
+    The fused Eq. (4)/(7) aggregation: streams the incidence entries through
+    ``partition``'s cached CSR order in O(block · d) scratch, never
+    materialising the ``(nnz, d)`` gather or ``messages`` buffer — and keeps
+    every segment's summation order identical to the unfused
+    ``segment_sum(gather_rows(values, value_ids) * att[:, None], ...)``
+    composition with the same partition, so results are bitwise-equal.
+
+    ``partition`` groups entries by ``segment_ids`` (built here when absent);
+    ``value_partition`` optionally groups them by ``value_ids`` to turn the
+    backward scatter into a cached-sort ``reduceat``.
+    """
+    segment_ids = _check_segments(segment_ids, num_segments)
+    value_ids = np.asarray(value_ids, dtype=np.int64)
+    if value_ids.ndim != 1 or value_ids.shape != segment_ids.shape:
+        raise ValueError("value_ids and segment_ids must be equal-length 1-D")
+    if att.data.ndim != 1 or att.data.shape != segment_ids.shape:
+        raise ValueError("att must be 1-D with one entry per incidence")
+    if values.data.ndim != 2:
+        raise ValueError("values must be 2-D")
+    _check_partition(partition, segment_ids, num_segments)
+    _check_index_partition(value_partition, value_ids, values.data.shape[0],
+                           "value_partition")
+    if partition is None:
+        partition = SegmentPartition(segment_ids, num_segments)
+    if block_rows is None:
+        block_rows = _default_block_rows(values.data.shape[1])
+    return apply_op("segment_attend", (att, values),
+                    _segment_attend_forward, _segment_attend_backward,
+                    ctx={"segment_ids": segment_ids, "value_ids": value_ids,
+                         "partition": partition,
+                         "value_partition": value_partition,
+                         "block_rows": block_rows})
 
 
 def _sparse_matmul_forward(ctx, x, out=None):

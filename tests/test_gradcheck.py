@@ -96,6 +96,36 @@ class TestDecoderGradients:
         gradcheck(lambda: (decoder(left, right) ** 2).sum(), [left, right])
 
 
+class TestFusedKernelGradients:
+    @pytest.mark.parametrize("use_partitions", [False, True])
+    def test_incidence_scores(self, rng, partitions, use_partitions):
+        node_part, edge_part = partitions if use_partitions else (None, None)
+        keys = Tensor(rng.normal(size=(NUM_EDGES, 3)), requires_grad=True)
+        queries = Tensor(rng.normal(size=(NUM_NODES, 3)), requires_grad=True)
+        gradcheck(lambda: (F.incidence_scores(
+            keys, queries, EDGE_IDS, NODE_IDS, key_partition=edge_part,
+            query_partition=node_part) ** 2).sum(), [keys, queries])
+
+    @pytest.mark.parametrize("use_partitions", [False, True])
+    def test_segment_attend(self, rng, partitions, use_partitions):
+        node_part, edge_part = partitions if use_partitions else (None, None)
+        att = Tensor(rng.random(size=len(NODE_IDS)), requires_grad=True)
+        values = Tensor(rng.normal(size=(NUM_EDGES, 2)), requires_grad=True)
+        gradcheck(lambda: (F.segment_attend(
+            att, values, EDGE_IDS, NODE_IDS, NUM_NODES, partition=node_part,
+            value_partition=edge_part) ** 2).sum(), [att, values])
+
+    def test_segment_attend_tiny_blocks(self, rng, partitions):
+        """Multi-block streaming keeps gradients exact at every boundary."""
+        node_part, edge_part = partitions
+        att = Tensor(rng.random(size=len(NODE_IDS)), requires_grad=True)
+        values = Tensor(rng.normal(size=(NUM_EDGES, 2)), requires_grad=True)
+        gradcheck(lambda: (F.segment_attend(
+            att, values, EDGE_IDS, NODE_IDS, NUM_NODES, partition=node_part,
+            value_partition=edge_part, block_rows=2) ** 2).sum(),
+            [att, values])
+
+
 class TestSegmentKernelGradients:
     @pytest.mark.parametrize("use_partition", [False, True])
     def test_segment_softmax(self, rng, partitions, use_partition):

@@ -6,7 +6,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.nn import Tensor
+from repro.nn import SegmentPartition, Tensor
 from repro.nn import functional as F
 from repro.nn.gradcheck import gradcheck
 
@@ -209,6 +209,173 @@ class TestSegmentOps:
     def test_segment_ids_must_be_1d(self):
         with pytest.raises(ValueError):
             F.segment_sum(Tensor(np.ones((2, 2))), np.array([[0], [1]]), 2)
+
+    def test_partition_caches_inverse_counts(self):
+        partition = SegmentPartition(np.array([0, 0, 2]), 4)
+        inv = partition.inv_counts
+        np.testing.assert_allclose(inv, [0.5, 1.0, 1.0, 1.0])
+        assert partition.inv_counts is inv  # computed once, reused
+
+    def test_segment_mean_uses_partition_inverse_counts(self):
+        x = Tensor(np.array([[2.0], [4.0], [6.0]]))
+        ids = np.array([0, 0, 1])
+        partition = SegmentPartition(ids, 2)
+        with_part = F.segment_mean(x, ids, 2, partition=partition)
+        without = F.segment_mean(x, ids, 2)
+        np.testing.assert_array_equal(with_part.data, without.data)
+
+
+def _fused_reference(att, values, value_ids, segment_ids, num_segments,
+                     partition):
+    """The unfused composition segment_attend replaces."""
+    messages = F.gather_rows(values, value_ids) * att.reshape(-1, 1)
+    return F.segment_sum(messages, segment_ids, num_segments,
+                         partition=partition)
+
+
+class TestFusedKernels:
+    """incidence_scores / segment_attend vs their unfused compositions."""
+
+    def _incidence(self, seed=0, num_keys=7, num_queries=5, nnz=23, dim=4):
+        rng = np.random.default_rng(seed)
+        keys = Tensor(rng.normal(size=(num_keys, dim)), requires_grad=True)
+        queries = Tensor(rng.normal(size=(num_queries, dim)),
+                         requires_grad=True)
+        key_ids = rng.integers(0, num_keys, size=nnz)
+        query_ids = rng.integers(0, num_queries, size=nnz)
+        return keys, queries, key_ids, query_ids
+
+    @pytest.mark.parametrize("block_rows", [1, 3, 1024])
+    def test_incidence_scores_bitwise_vs_reference(self, block_rows):
+        keys, queries, key_ids, query_ids = self._incidence()
+        fused = F.incidence_scores(keys, queries, key_ids, query_ids,
+                                   block_rows=block_rows)
+        reference = (F.gather_rows(keys, key_ids)
+                     * F.gather_rows(queries, query_ids)).sum(axis=1)
+        np.testing.assert_array_equal(fused.data, reference.data)
+
+    def test_incidence_scores_empty(self):
+        keys, queries, _, _ = self._incidence(nnz=0)
+        out = F.incidence_scores(keys, queries, np.array([], dtype=np.int64),
+                                 np.array([], dtype=np.int64))
+        assert out.shape == (0,)
+        (out.sum() + (keys.sum() + queries.sum()) * 0.0).backward()
+
+    def test_incidence_scores_rejects_mismatched_ids(self):
+        keys, queries, key_ids, query_ids = self._incidence()
+        with pytest.raises(ValueError):
+            F.incidence_scores(keys, queries, key_ids, query_ids[:-1])
+
+    def test_incidence_scores_rejects_width_mismatch(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            F.incidence_scores(Tensor(rng.normal(size=(3, 4))),
+                               Tensor(rng.normal(size=(3, 5))),
+                               np.array([0]), np.array([0]))
+
+    def test_incidence_scores_rejects_mismatched_partition(self):
+        keys, queries, key_ids, query_ids = self._incidence()
+        wrong = SegmentPartition(np.zeros(3, dtype=np.int64), 1)
+        with pytest.raises(ValueError):
+            F.incidence_scores(keys, queries, key_ids, query_ids,
+                               key_partition=wrong)
+
+    @pytest.mark.parametrize("with_partitions", [False, True])
+    def test_incidence_scores_grad_matches_reference(self, with_partitions):
+        keys, queries, key_ids, query_ids = self._incidence(seed=3)
+        kp = SegmentPartition(key_ids, keys.shape[0]) \
+            if with_partitions else None
+        qp = SegmentPartition(query_ids, queries.shape[0]) \
+            if with_partitions else None
+        (F.incidence_scores(keys, queries, key_ids, query_ids,
+                            key_partition=kp, query_partition=qp)
+         ** 2).sum().backward()
+        fused_gk, fused_gq = keys.grad.copy(), queries.grad.copy()
+        keys.grad = queries.grad = None
+        ((F.gather_rows(keys, key_ids) * F.gather_rows(queries, query_ids))
+         .sum(axis=1) ** 2).sum().backward()
+        np.testing.assert_allclose(fused_gk, keys.grad, atol=1e-12)
+        np.testing.assert_allclose(fused_gq, queries.grad, atol=1e-12)
+
+    def _attend(self, seed=0, num_values=6, num_segments=5, nnz=21, dim=3):
+        rng = np.random.default_rng(seed)
+        att = Tensor(rng.random(size=nnz), requires_grad=True)
+        values = Tensor(rng.normal(size=(num_values, dim)),
+                        requires_grad=True)
+        value_ids = rng.integers(0, num_values, size=nnz)
+        segment_ids = rng.integers(0, num_segments, size=nnz)
+        return att, values, value_ids, segment_ids, num_segments
+
+    @pytest.mark.parametrize("block_rows", [1, 4, 1024])
+    def test_segment_attend_bitwise_vs_reference(self, block_rows):
+        att, values, value_ids, segment_ids, n = self._attend()
+        partition = SegmentPartition(segment_ids, n)
+        fused = F.segment_attend(att, values, value_ids, segment_ids, n,
+                                 partition=partition, block_rows=block_rows)
+        reference = _fused_reference(att, values, value_ids, segment_ids, n,
+                                     partition)
+        np.testing.assert_array_equal(fused.data, reference.data)
+
+    def test_segment_attend_builds_partition_when_absent(self):
+        att, values, value_ids, segment_ids, n = self._attend(seed=1)
+        fused = F.segment_attend(att, values, value_ids, segment_ids, n)
+        partition = SegmentPartition(segment_ids, n)
+        reference = _fused_reference(att, values, value_ids, segment_ids, n,
+                                     partition)
+        np.testing.assert_array_equal(fused.data, reference.data)
+
+    def test_segment_attend_empty_segments_are_zero(self):
+        att = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        values = Tensor(np.ones((2, 2)), requires_grad=True)
+        out = F.segment_attend(att, values, np.array([0, 1]),
+                               np.array([0, 0]), 3)
+        np.testing.assert_allclose(out.data[1:], np.zeros((2, 2)))
+
+    def test_segment_attend_empty_incidence(self):
+        values = Tensor(np.ones((2, 2)), requires_grad=True)
+        empty = np.array([], dtype=np.int64)
+        out = F.segment_attend(Tensor(empty.astype(float),
+                                      requires_grad=True),
+                               values, empty, empty, 3)
+        np.testing.assert_array_equal(out.data, np.zeros((3, 2)))
+
+    def test_segment_attend_rejects_bad_shapes(self):
+        att, values, value_ids, segment_ids, n = self._attend()
+        with pytest.raises(ValueError):
+            F.segment_attend(att, values, value_ids[:-1], segment_ids, n)
+        with pytest.raises(ValueError):
+            F.segment_attend(values, values, value_ids, segment_ids, n)
+        with pytest.raises(ValueError):
+            F.segment_attend(att, att, value_ids, segment_ids, n)
+
+    @pytest.mark.parametrize("with_value_partition", [False, True])
+    def test_segment_attend_grad_matches_reference(self,
+                                                   with_value_partition):
+        att, values, value_ids, segment_ids, n = self._attend(seed=5)
+        partition = SegmentPartition(segment_ids, n)
+        vp = SegmentPartition(value_ids, values.shape[0]) \
+            if with_value_partition else None
+        (F.segment_attend(att, values, value_ids, segment_ids, n,
+                          partition=partition, value_partition=vp)
+         ** 2).sum().backward()
+        fused_ga, fused_gv = att.grad.copy(), values.grad.copy()
+        att.grad = values.grad = None
+        (_fused_reference(att, values, value_ids, segment_ids, n, partition)
+         ** 2).sum().backward()
+        np.testing.assert_allclose(fused_ga, att.grad, atol=1e-12)
+        np.testing.assert_allclose(fused_gv, values.grad, atol=1e-12)
+
+    def test_oversized_segment_gets_own_block(self):
+        # one segment larger than block_rows must still reduce correctly
+        att, values, value_ids, _, _ = self._attend(seed=7, nnz=21)
+        segment_ids = np.zeros(21, dtype=np.int64)
+        segment_ids[-1] = 2
+        partition = SegmentPartition(segment_ids, 3)
+        fused = F.segment_attend(att, values, value_ids, segment_ids, 3,
+                                 partition=partition, block_rows=4)
+        reference = _fused_reference(att, values, value_ids, segment_ids, 3,
+                                     partition)
+        np.testing.assert_array_equal(fused.data, reference.data)
 
 
 class TestSparseMatmul:

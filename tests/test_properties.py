@@ -213,6 +213,76 @@ def test_partition_identity_order_for_sorted_ids():
 
 
 # ---------------------------------------------------------------------------
+# Fused attention-kernel invariants
+# ---------------------------------------------------------------------------
+
+fused_cases = st.tuples(
+    incidence_lists,
+    st.integers(min_value=1, max_value=4),       # feature dim
+    st.integers(min_value=1, max_value=32),      # block rows
+    st.integers(min_value=0, max_value=2 ** 31 - 1))
+
+
+@settings(max_examples=60, deadline=None)
+@given(fused_cases)
+def test_fused_kernels_bitwise_match_unfused(case):
+    """incidence_scores / segment_attend equal the unfused gather/mul/sum
+    composition *bitwise* over arbitrary incidence structures (empty
+    segments included) and any block size — the contract that keeps fused
+    encoder outputs identical to the pre-fusion encoder."""
+    (num_nodes, num_edges, pairs), dim, block_rows, seed = case
+    hg = _build(num_nodes, num_edges, pairs)
+    node_ids, edge_ids = hg.node_ids, hg.edge_ids
+    rng = np.random.default_rng(seed)
+    keys = Tensor(rng.normal(size=(num_edges, dim)))
+    queries = Tensor(rng.normal(size=(num_nodes, dim)))
+    att = Tensor(rng.random(size=node_ids.size))
+    values = Tensor(rng.normal(size=(num_edges, dim)))
+
+    fused_scores = F.incidence_scores(
+        keys, queries, edge_ids, node_ids,
+        key_partition=hg.edge_partition, query_partition=hg.node_partition,
+        block_rows=block_rows)
+    reference_scores = (F.gather_rows(keys, edge_ids)
+                        * F.gather_rows(queries, node_ids)).sum(axis=1)
+    np.testing.assert_array_equal(fused_scores.numpy(),
+                                  reference_scores.numpy())
+
+    fused_agg = F.segment_attend(
+        att, values, edge_ids, node_ids, num_nodes,
+        partition=hg.node_partition, value_partition=hg.edge_partition,
+        block_rows=block_rows)
+    messages = F.gather_rows(values, edge_ids) * att.reshape(-1, 1)
+    reference_agg = F.segment_sum(messages, node_ids, num_nodes,
+                                  partition=hg.node_partition)
+    np.testing.assert_array_equal(fused_agg.numpy(), reference_agg.numpy())
+
+
+@settings(max_examples=25, deadline=None)
+@given(incidence_lists, st.integers(min_value=0, max_value=2 ** 31 - 1))
+def test_fused_encoder_bitwise_matches_unfused(case, seed):
+    """Full-encoder invariant: the fused kernels never change eval-mode
+    embeddings or the substructure-attention output, for any incidence
+    structure (serving caches and fingerprints stay valid)."""
+    from repro.core import HyGNNEncoder, fused_kernels
+
+    num_nodes, num_edges, pairs = case
+    hg = _build(num_nodes, num_edges, pairs)
+    encoder = HyGNNEncoder(num_substructures=num_nodes, embed_dim=3,
+                           hidden_dim=3, rng=np.random.default_rng(seed),
+                           dropout=0.0)
+    encoder.eval()
+    with fused_kernels(False):
+        reference = encoder.encode_hypergraph(hg).numpy().copy()
+        reference_att = encoder.substructure_attention(hg)
+    with fused_kernels(True):
+        fused = encoder.encode_hypergraph(hg).numpy().copy()
+        fused_att = encoder.substructure_attention(hg)
+    np.testing.assert_array_equal(fused, reference)
+    np.testing.assert_array_equal(fused_att, reference_att)
+
+
+# ---------------------------------------------------------------------------
 # Streaming top-k invariants (serving engine)
 # ---------------------------------------------------------------------------
 
