@@ -7,12 +7,18 @@ new drugs.  Screening runs on a scale-aware engine: precomputed split-weight
 decoder projections, blockwise streaming top-k (O(block + k) peak memory),
 sharded catalogs with deterministic merge, query micro-batching, and an
 optional inner-product prefilter for approximate top-k at very large
-catalog sizes.
+catalog sizes.  Under concurrency, :class:`ScreeningGateway` is the
+asyncio front door: it coalesces concurrent requests into dynamic
+micro-batches (one engine pass per flush) with admission control,
+per-request deadlines, graceful drain, and p50/p99/QPS stats — coalesced
+screens stay bitwise-identical to serial calls.
 """
 
-from .cache import (FINGERPRINT_MODES, EmbeddingCache, ServiceStats,
-                    weights_fingerprint)
+from .cache import (FINGERPRINT_MODES, EmbeddingCache, LatencyWindow,
+                    ServiceStats, weights_fingerprint)
 from .executor import ParallelShardExecutor, exact_score_fn
+from .gateway import (DeadlineExceeded, GatewayClosed, GatewayOverloaded,
+                      ScreeningGateway)
 from .service import DDIScreeningService, ScreenHit
 from .shards import CatalogShard, ShardedEmbeddingCatalog
 from .store import MappedShardCatalog, ShardStore
@@ -20,8 +26,10 @@ from .topk import TopKAccumulator, merge_top_k, top_k_desc
 
 __all__ = [
     "DDIScreeningService", "ScreenHit",
-    "EmbeddingCache", "ServiceStats", "weights_fingerprint",
-    "FINGERPRINT_MODES",
+    "ScreeningGateway", "GatewayClosed", "GatewayOverloaded",
+    "DeadlineExceeded",
+    "EmbeddingCache", "ServiceStats", "LatencyWindow",
+    "weights_fingerprint", "FINGERPRINT_MODES",
     "ShardedEmbeddingCatalog", "CatalogShard",
     "ShardStore", "MappedShardCatalog",
     "ParallelShardExecutor", "exact_score_fn",

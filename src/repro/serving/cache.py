@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -95,14 +96,85 @@ def weights_fingerprint(model: Module, mode: str = "fast",
     return ("fast", tuple(parts))
 
 
+class LatencyWindow:
+    """Sliding window of per-request latencies for percentile/QPS readouts.
+
+    Keeps the most recent ``capacity`` completions as
+    ``(latency_seconds, completed_at)`` pairs (monotonic-clock timestamps).
+    Percentiles interpolate linearly over the window; throughput is
+    completions over the window's completion-time span — both are *recent*
+    figures by construction, so a long-lived gateway reports current load,
+    not its lifetime average.  ``count`` is the lifetime total.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._latencies: deque[float] = deque(maxlen=capacity)
+        self._completed: deque[float] = deque(maxlen=capacity)
+        self.count = 0
+
+    def record(self, latency: float, completed_at: float) -> None:
+        """Fold one completed request into the window."""
+        self._latencies.append(float(latency))
+        self._completed.append(float(completed_at))
+        self.count += 1
+
+    def __len__(self) -> int:
+        return len(self._latencies)
+
+    def percentile(self, q: float) -> float:
+        """Latency percentile (seconds) over the window; NaN when empty."""
+        if not self._latencies:
+            return float("nan")
+        return float(np.percentile(
+            np.fromiter(self._latencies, dtype=np.float64), q))
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    @property
+    def qps(self) -> float:
+        """Completions per second across the window's time span."""
+        if len(self._completed) < 2:
+            return 0.0
+        span = self._completed[-1] - self._completed[0]
+        return (len(self._completed) - 1) / span if span > 0 else 0.0
+
+    def summary(self) -> dict:
+        """Plain-dict readout (milliseconds for the percentiles)."""
+        return {"count": self.count,
+                "window": len(self._latencies),
+                "p50_ms": self.p50 * 1e3,
+                "p99_ms": self.p99 * 1e3,
+                "qps": self.qps}
+
+
 @dataclass
 class ServiceStats:
     """Observability counters for one :class:`DDIScreeningService`.
 
-    ``pairs_scored`` counts *exact* decoder evaluations only; approximate
-    screening charges its shortlist scan to ``prefilter_pairs`` (one cheap
-    inner-product comparison per candidate) and only the exact rescores of
-    the surviving shortlist to ``pairs_scored``.
+    ``pairs_scored`` counts *useful* exact decoder evaluations only: pairs
+    whose scores a caller could observe.  Screening charges
+    ``num_drugs - len(excluded)`` per query (excluded candidates — always
+    at least the query itself — are filtered and never reported);
+    approximate screening charges its shortlist scan to
+    ``prefilter_pairs`` (one cheap inner-product comparison per candidate)
+    and only the exact rescores of the surviving shortlist to
+    ``pairs_scored``.
+
+    The ``gateway_*`` fields are maintained by
+    :class:`~repro.serving.gateway.ScreeningGateway`: admission /
+    deadline / flush counters, a batch-size histogram (batch size →
+    number of flushes at that size), and a :class:`LatencyWindow` of
+    end-to-end request latencies (enqueue → response) exposing
+    p50/p99/QPS.
     """
 
     corpus_encodes: int = 0        # full catalog-context rebuilds
@@ -110,13 +182,22 @@ class ServiceStats:
     cache_hits: int = 0            # queries answered from cached embeddings
     invalidations: int = 0         # caches dropped (stale weights / explicit)
     cache_loads: int = 0           # warm restarts from a persisted cache
-    pairs_scored: int = 0          # exact decoder pair evaluations
+    pairs_scored: int = 0          # exact decoder pair evaluations (eligible)
     prefilter_pairs: int = 0       # approximate-mode prefilter comparisons
     screens: int = 0
     parallel_screens: int = 0      # queries answered by the process pool
+    gateway_requests: int = 0      # requests admitted to the gateway queue
+    gateway_rejections: int = 0    # admission-control fast-fails (queue full)
+    gateway_expirations: int = 0   # deadlines missed before scoring
+    gateway_batches: int = 0       # coalesced service calls (flushes)
+    gateway_batch_sizes: dict = field(default_factory=dict)
+    gateway_latency: LatencyWindow = field(default_factory=LatencyWindow)
 
     def as_dict(self) -> dict:
-        return dict(self.__dict__)
+        out = dict(self.__dict__)
+        out["gateway_batch_sizes"] = dict(self.gateway_batch_sizes)
+        out["gateway_latency"] = self.gateway_latency.summary()
+        return out
 
 
 # Cache versions are allocated from one process-wide monotonic counter, so a

@@ -37,7 +37,8 @@ from typing import Callable, Sequence
 import numpy as np
 
 from ..nn.functional import stable_sigmoid
-from .shards import finalize_screen, normalize_exclude, screen_shard
+from .shards import (finalize_screen, normalize_exclude, normalize_top_k,
+                     screen_shard)
 from .store import ShardStore
 
 
@@ -122,7 +123,8 @@ class ParallelShardExecutor:
                 initargs=(str(self._store.path), self._mmap_mode))
         return self._pool
 
-    def screen(self, kernel, query_proj: dict, num_queries: int, top_k: int,
+    def screen(self, kernel, query_proj: dict, num_queries: int,
+               top_k: int | Sequence[int],
                block_size: int | None = None,
                exclude: Sequence[np.ndarray] | np.ndarray | None = None,
                two_sided: bool = False
@@ -131,16 +133,19 @@ class ParallelShardExecutor:
 
         Same contract as :meth:`ShardedEmbeddingCatalog.screen`: one
         ``(indices, probabilities)`` pair per query, sorted by
-        (probability desc, index asc), exclusions removed.
+        (probability desc, index asc), exclusions removed; ``top_k`` may
+        be one shared budget or a per-query sequence.
         """
         block_size = block_size or self._store.block_size
+        top_ks = normalize_top_k(top_k, num_queries)
         excludes = normalize_exclude(exclude, num_queries)
-        padded = [top_k + e.size if top_k > 0 else 0 for e in excludes]
+        padded = [k + e.size if k > 0 else 0
+                  for k, e in zip(top_ks, excludes)]
         tasks = [(shard_id, block_size, kernel, query_proj, two_sided,
                   num_queries, padded)
                  for shard_id in range(self._store.num_shards)]
         per_shard = self._ensure_pool().map(_screen_shard_task, tasks)
-        return finalize_screen(per_shard, padded, excludes, top_k)
+        return finalize_screen(per_shard, padded, excludes, top_ks)
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""

@@ -41,7 +41,7 @@ from ..hypergraph import DrugHypergraphBuilder, Hypergraph
 from ..nn import Tensor
 from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
 from .executor import ParallelShardExecutor, exact_score_fn
-from .shards import ShardedEmbeddingCatalog
+from .shards import ShardedEmbeddingCatalog, normalize_top_k
 from .store import ShardStore
 
 
@@ -521,8 +521,27 @@ class DDIScreeningService:
     # ------------------------------------------------------------------
     # Scoring
     # ------------------------------------------------------------------
+    def _as_query_index(self, query: int | str) -> int:
+        """Resolve one query (catalog index or drug id) to an index.
+
+        Booleans are rejected explicitly — ``isinstance(True, int)`` holds,
+        so without the check ``screen(True)`` would silently screen catalog
+        index 1.
+        """
+        if isinstance(query, (bool, np.bool_)):
+            raise TypeError(
+                f"query must be a catalog index or drug id, not a bool "
+                f"(got {query!r})")
+        if isinstance(query, (int, np.integer)):
+            return int(query)
+        return self.index_of(query)
+
     def _check_pairs(self, pairs: np.ndarray) -> np.ndarray:
-        pairs = np.asarray(pairs, dtype=np.int64).reshape(-1, 2)
+        raw = np.asarray(pairs)
+        if raw.dtype == np.bool_:
+            raise TypeError(
+                "pairs must hold integer catalog indices, not booleans")
+        pairs = np.asarray(raw, dtype=np.int64).reshape(-1, 2)
         if pairs.size:
             bad = (pairs < 0) | (pairs >= self.num_drugs)
             if bad.any():
@@ -547,9 +566,13 @@ class DDIScreeningService:
             order = np.argsort(table).astype(np.int64)
             self._id_table = (table[order], order)
         sorted_ids, perm = self._id_table
-        # searchsorted needs a common dtype; widen to the longer string type.
-        ids = ids.astype(sorted_ids.dtype) if ids.dtype < sorted_ids.dtype \
-            else ids
+        # searchsorted needs a common dtype; widen to the longer string
+        # type — whichever side is narrower, so a query id longer than
+        # every catalog id is compared in full, never truncated.
+        if ids.dtype < sorted_ids.dtype:
+            ids = ids.astype(sorted_ids.dtype)
+        elif sorted_ids.dtype < ids.dtype:
+            sorted_ids = sorted_ids.astype(ids.dtype)
         pos = np.searchsorted(sorted_ids, ids)
         safe = np.minimum(pos, len(sorted_ids) - 1)
         bad = sorted_ids[safe] != ids
@@ -604,8 +627,7 @@ class DDIScreeningService:
         return self._screen_kernel
 
     def _resolve_exclude(self, exclude: tuple) -> np.ndarray:
-        resolved = {i if isinstance(i, (int, np.integer)) else
-                    self.index_of(i) for i in exclude}
+        resolved = {self._as_query_index(i) for i in exclude}
         # Sorted, so the resolved index order never depends on set/hash
         # iteration order — the same exclusion list produces byte-identical
         # exclusion arrays in every process (executor dispatch included).
@@ -630,7 +652,7 @@ class DDIScreeningService:
         return bool(parallel)
 
     def _screen_embeddings(self, query_embeddings: np.ndarray,
-                           top_k: int, exclude: list[np.ndarray],
+                           top_k: int | list[int], exclude: list[np.ndarray],
                            symmetric: bool, approx: bool,
                            approx_oversample: int,
                            parallel: bool | None = None
@@ -641,20 +663,27 @@ class DDIScreeningService:
         selection; scores are bitwise-identical to
         :meth:`HyGNN.screen_probs` over the full catalog for every block
         size, shard layout, query-batch size, and execution plan (serial
-        in-memory, serial memory-mapped, multi-process).  Approximate mode
-        (dot decoder only) prefilters with one inner-product GEMM per
-        block, then exact-reranks the ``top_k * approx_oversample``
-        survivors.
+        in-memory, serial memory-mapped, multi-process).  ``top_k`` may be
+        per-query: each query keeps its own accumulator, so heterogeneous
+        budgets in one batch reproduce the homogeneous results bitwise.
+        Approximate mode (dot decoder only) prefilters with one
+        inner-product GEMM per block, then exact-reranks the
+        ``top_k * approx_oversample`` survivors.
         """
         decoder = self._model.decoder
         kernel = self._kernel()
         num_queries = len(query_embeddings)
+        top_ks = normalize_top_k(top_k, num_queries)
         two_sided = symmetric and not decoder.is_symmetric
         use_parallel = self._use_parallel(parallel, approx)
         query_proj = decoder.project_queries(
             query_embeddings,
             sides=("as_left", "as_right") if two_sided else ("as_left",))
         stats = self._cache.stats
+        # Excluded candidates are filtered out and never reported, so they
+        # are not useful pair evaluations: charge only the eligible ones
+        # (every screen excludes at least the query itself).
+        eligible = sum(self.num_drugs - e.size for e in exclude)
 
         if approx:
             if not decoder.supports_prefilter:
@@ -664,7 +693,7 @@ class DDIScreeningService:
             if approx_oversample < 1:
                 raise ValueError("approx_oversample must be >= 1")
             results, rescored = self._approx_screen(
-                self._catalog(), kernel, query_proj, num_queries, top_k,
+                self._catalog(), kernel, query_proj, num_queries, top_ks,
                 exclude, approx_oversample)
             # The shortlist scan is one cheap comparison per candidate,
             # not an exact pair score; only the rescores are exact.
@@ -673,16 +702,15 @@ class DDIScreeningService:
         else:
             if use_parallel:
                 results = self._get_executor().screen(
-                    kernel, query_proj, num_queries, top_k,
+                    kernel, query_proj, num_queries, top_ks,
                     block_size=self.block_size, exclude=exclude,
                     two_sided=two_sided)
                 stats.parallel_screens += num_queries
             else:
                 results = self._catalog().screen(
                     exact_score_fn(kernel, query_proj, two_sided),
-                    num_queries, top_k, exclude=exclude)
-            stats.pairs_scored += (num_queries * self.num_drugs
-                                   * (2 if two_sided else 1))
+                    num_queries, top_ks, exclude=exclude)
+            stats.pairs_scored += eligible * (2 if two_sided else 1)
         stats.screens += num_queries
         return [[ScreenHit(index=int(j), drug_id=self._drug_ids[j],
                            probability=float(p))
@@ -690,7 +718,7 @@ class DDIScreeningService:
                 for indices, probs in results]
 
     def _approx_screen(self, catalog, kernel, query_proj, num_queries,
-                       top_k, exclude, oversample):
+                       top_ks, exclude, oversample):
         """Inner-product prefilter, then exact rerank of the survivors.
 
         Returns ``(results, rescored)`` where ``rescored`` counts the
@@ -699,9 +727,9 @@ class DDIScreeningService:
         def prefilter(_emb_block, proj_block):
             return kernel.prefilter_block(query_proj, proj_block)
 
-        shortlist = catalog.screen(prefilter, num_queries,
-                                   max(top_k * oversample, top_k),
-                                   exclude=exclude)
+        shortlist = catalog.screen(
+            prefilter, num_queries,
+            [max(k * oversample, k) for k in top_ks], exclude=exclude)
         results = []
         rescored = 0
         for qi, (cand_indices, _approx_scores) in enumerate(shortlist):
@@ -715,7 +743,7 @@ class DDIScreeningService:
             # Rerank with the exact kernel: probabilities of the survivors
             # are bitwise what exact mode would report for them.
             probs = exact_score_fn(kernel, qi_proj)(emb_rows, proj_rows)[0]
-            select = np.lexsort((cand_indices, -probs))[:top_k]
+            select = np.lexsort((cand_indices, -probs))[:max(top_ks[qi], 0)]
             results.append((cand_indices[select], probs[select]))
         return results, rescored
 
@@ -736,8 +764,7 @@ class DDIScreeningService:
         the pool (raises if no store is attached).  Every plan returns
         bitwise-identical hits.
         """
-        index = int(query) if isinstance(query, (int, np.integer)) \
-            else self.index_of(query)
+        index = self._as_query_index(query)
         if not 0 <= index < self.num_drugs:
             raise IndexError(f"catalog index {index} out of range")
         self._ensure_fresh()
@@ -751,8 +778,34 @@ class DDIScreeningService:
                                        symmetric, approx, approx_oversample,
                                        parallel=parallel)[0]
 
-    def screen_batch(self, queries: list[int | str], top_k: int = 5,
-                     exclude: tuple = (), symmetric: bool = False,
+    def _normalize_exclude_arg(self, exclude,
+                               num_queries: int) -> list[np.ndarray]:
+        """Resolve a shared or per-query ``exclude`` to index arrays.
+
+        A flat collection of catalog indices / drug ids is one shared
+        exclusion set applied to every query; a collection whose elements
+        are themselves collections (tuples, lists, sets, arrays) is
+        per-query and must have one entry per query.  Deciding by element
+        type — the same rule as :func:`repro.serving.shards
+        .normalize_exclude` — keeps ``exclude=(3, "drug_5")`` shared even
+        when the batch happens to have two queries.
+        """
+        if exclude is None:
+            exclude = ()
+        if isinstance(exclude, (list, tuple)) and len(exclude) and all(
+                isinstance(e, (list, tuple, set, frozenset, np.ndarray))
+                for e in exclude):
+            if len(exclude) != num_queries:
+                raise ValueError(
+                    f"per-query exclude has {len(exclude)} entries for "
+                    f"{num_queries} queries")
+            return [self._resolve_exclude(tuple(e)) for e in exclude]
+        shared = self._resolve_exclude(tuple(exclude))
+        return [shared] * num_queries
+
+    def screen_batch(self, queries: list[int | str],
+                     top_k: int | list[int] = 5,
+                     exclude: tuple | list = (), symmetric: bool = False,
                      approx: bool = False, approx_oversample: int = 4,
                      parallel: bool | None = None
                      ) -> list[list[ScreenHit]]:
@@ -761,21 +814,25 @@ class DDIScreeningService:
         Every candidate block is scored against the whole query batch in a
         single vectorized kernel call (for the dot prefilter, one GEMM per
         block), so catalog traffic is paid once for the batch instead of
-        once per query.  Per-query results are bitwise-identical to calling
-        :meth:`screen` one query at a time.  ``parallel`` routes the batch
-        to the shard process pool exactly as on :meth:`screen`.
+        once per query.  The batch may be heterogeneous: ``top_k`` accepts
+        a per-query list and ``exclude`` a per-query list of collections
+        (a flat tuple of indices/ids stays one shared exclusion set) —
+        which is what lets the async gateway coalesce unrelated callers'
+        requests into one flush.  Per-query results are bitwise-identical
+        to calling :meth:`screen` one query at a time with that query's
+        own ``top_k``/``exclude``.  ``parallel`` routes the batch to the
+        shard process pool exactly as on :meth:`screen`.
         """
         if not len(queries):
             return []
-        indices = [int(q) if isinstance(q, (int, np.integer))
-                   else self.index_of(q) for q in queries]
+        indices = [self._as_query_index(q) for q in queries]
         for index in indices:
             if not 0 <= index < self.num_drugs:
                 raise IndexError(f"catalog index {index} out of range")
         self._ensure_fresh()
-        shared = self._resolve_exclude(exclude)
-        per_query = [np.union1d(shared, np.array([index], dtype=np.int64))
-                     for index in indices]
+        base = self._normalize_exclude_arg(exclude, len(queries))
+        per_query = [np.union1d(e, np.array([index], dtype=np.int64))
+                     for e, index in zip(base, indices)]
         query_embs = self._cache.embeddings[np.asarray(indices,
                                                        dtype=np.int64)]
         return self._screen_embeddings(query_embs, top_k, per_query,
@@ -795,18 +852,47 @@ class DDIScreeningService:
         embedding table is never copied: the transient query rides the same
         blockwise engine as catalog queries.
         """
-        nodes = self._tokenize(smiles, allow_unknown)
+        return self.screen_smiles_batch(
+            [smiles], top_k=top_k, symmetric=symmetric,
+            allow_unknown=allow_unknown, approx=approx,
+            approx_oversample=approx_oversample, parallel=parallel)[0]
+
+    def screen_smiles_batch(self, smiles_list: list[str],
+                            top_k: int | list[int] = 5,
+                            symmetric: bool = False,
+                            allow_unknown: bool = False,
+                            approx: bool = False,
+                            approx_oversample: int = 4,
+                            parallel: bool | None = None
+                            ) -> list[list[ScreenHit]]:
+        """Micro-batched :meth:`screen_smiles`: one encode, one catalog pass.
+
+        All transient queries are tokenized and embedded in a single
+        :meth:`~repro.core.encoder.HyGNNEncoder.encode_edges_subset` call
+        (identical embeddings to one-at-a-time encoding — each hyperedge's
+        segments reduce independently) and screened as one engine batch.
+        ``top_k`` may be per-query; per-query results are bitwise-identical
+        to serial :meth:`screen_smiles` calls.
+        """
+        if not len(smiles_list):
+            return []
+        node_lists = self._tokenize_batch(list(smiles_list), allow_unknown)
         self._ensure_fresh()
+        node_ids = (np.concatenate(node_lists) if node_lists
+                    else np.zeros(0, dtype=np.int64))
+        edge_ids = np.repeat(np.arange(len(node_lists), dtype=np.int64),
+                             [len(n) for n in node_lists])
         model = self._model
         was_training = model.training
         model.eval()
         try:
-            query_emb = model.encoder.encode_edges_subset(
-                self._cache.context, nodes,
-                np.zeros(len(nodes), dtype=np.int64), 1).numpy()
+            query_embs = model.encoder.encode_edges_subset(
+                self._cache.context, node_ids, edge_ids,
+                len(node_lists)).numpy()
         finally:
             model.train(was_training)
         empty = np.zeros(0, dtype=np.int64)
-        return self._screen_embeddings(query_emb, top_k, [empty], symmetric,
+        return self._screen_embeddings(query_embs, top_k,
+                                       [empty] * len(node_lists), symmetric,
                                        approx, approx_oversample,
-                                       parallel=parallel)[0]
+                                       parallel=parallel)

@@ -36,6 +36,28 @@ from .topk import TopKAccumulator, merge_top_k
 ScoreBlockFn = Callable[[np.ndarray, dict[str, np.ndarray]], np.ndarray]
 
 
+def normalize_top_k(top_k, num_queries: int) -> list[int]:
+    """Per-query top-k budgets from a scalar or per-query sequence.
+
+    Booleans are rejected explicitly: ``True`` would silently mean
+    ``top_k=1`` under the ``int`` check.
+    """
+    def as_k(value):
+        if isinstance(value, (bool, np.bool_)):
+            raise TypeError(f"top_k must be an integer, got {value!r}")
+        if not isinstance(value, (int, np.integer)):
+            raise TypeError(f"top_k must be an integer, got {value!r}")
+        return int(value)
+
+    if isinstance(top_k, (int, np.integer, bool, np.bool_)):
+        return [as_k(top_k)] * num_queries
+    top_ks = [as_k(k) for k in top_k]
+    if len(top_ks) != num_queries:
+        raise ValueError(f"per-query top_k has {len(top_ks)} entries for "
+                         f"{num_queries} queries")
+    return top_ks
+
+
 def normalize_exclude(exclude, num_queries: int) -> list[np.ndarray]:
     """Per-query exclusion arrays from the polymorphic ``exclude`` argument."""
     empty = np.zeros(0, dtype=np.int64)
@@ -93,8 +115,15 @@ def screen_shard(shard: "CatalogShard", block_size: int,
 
 def finalize_screen(per_shard: list[list[tuple[np.ndarray, np.ndarray]]],
                     padded: Sequence[int], excludes: Sequence[np.ndarray],
-                    top_k: int) -> list[tuple[np.ndarray, np.ndarray]]:
-    """Deterministic cross-shard reduce: merge, filter exclusions, truncate."""
+                    top_k: int | Sequence[int]
+                    ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Deterministic cross-shard reduce: merge, filter exclusions, truncate.
+
+    ``top_k`` may be one shared budget or a per-query sequence — queries
+    are reduced independently either way, so a heterogeneous batch is
+    bitwise-identical to running each query alone with its own budget.
+    """
+    top_ks = normalize_top_k(top_k, len(padded))
     results = []
     for qi in range(len(padded)):
         if len(per_shard) == 1:
@@ -107,7 +136,8 @@ def finalize_screen(per_shard: list[list[tuple[np.ndarray, np.ndarray]]],
             # dispatch overhead dwarfs the actual work at these sizes.
             keep = ~(indices[:, None] == excludes[qi][None, :]).any(axis=1)
             indices, scores = indices[keep], scores[keep]
-        results.append((indices[:top_k], scores[:top_k]))
+        results.append((indices[:max(top_ks[qi], 0)],
+                        scores[:max(top_ks[qi], 0)]))
     return results
 
 
@@ -214,7 +244,8 @@ class ShardedEmbeddingCatalog:
         return iter_shard_blocks(shard, self.block_size)
 
     # ------------------------------------------------------------------
-    def screen(self, score_block: ScoreBlockFn, num_queries: int, top_k: int,
+    def screen(self, score_block: ScoreBlockFn, num_queries: int,
+               top_k: int | Sequence[int],
                exclude: Sequence[np.ndarray] | np.ndarray | None = None,
                ) -> list[tuple[np.ndarray, np.ndarray]]:
         """Blockwise per-shard top-k + deterministic merge, per query.
@@ -222,10 +253,13 @@ class ShardedEmbeddingCatalog:
         ``score_block`` maps one ``(embeddings, projections)`` block to a
         ``(num_queries, block)`` score matrix; it is invoked once per block
         for the whole query batch.  ``exclude`` is either one global-index
-        array applied to every query or a per-query sequence of arrays.
-        Returns one ``(indices, scores)`` pair per query, sorted by
-        (score desc, index asc), excluded rows removed; fewer than ``top_k``
-        entries come back when the catalog has fewer eligible candidates.
+        array applied to every query or a per-query sequence of arrays;
+        ``top_k`` is one shared budget or a per-query sequence (queries
+        keep independent accumulators, so a heterogeneous batch returns
+        bitwise what each query alone would).  Returns one
+        ``(indices, scores)`` pair per query, sorted by (score desc,
+        index asc), excluded rows removed; fewer than ``top_k`` entries
+        come back when the catalog has fewer eligible candidates.
 
         Exclusions are applied *after* selection: each accumulator keeps
         ``top_k + len(exclude)`` candidates, so the excluded rows — at most
@@ -233,9 +267,11 @@ class ShardedEmbeddingCatalog:
         per-block work free of membership tests, and is exactly equivalent
         to masking candidates up front.
         """
+        top_ks = normalize_top_k(top_k, num_queries)
         excludes = normalize_exclude(exclude, num_queries)
-        padded = [top_k + e.size if top_k > 0 else 0 for e in excludes]
+        padded = [k + e.size if k > 0 else 0
+                  for k, e in zip(top_ks, excludes)]
         per_shard = [screen_shard(shard, self.block_size, score_block,
                                   num_queries, padded)
                      for shard in self._shards]
-        return finalize_screen(per_shard, padded, excludes, top_k)
+        return finalize_screen(per_shard, padded, excludes, top_ks)

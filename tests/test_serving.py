@@ -381,6 +381,74 @@ class TestValidation:
             assert tensor._parents == ()
 
 
+class TestServingBugSweep:
+    """Pins for the serving-layer bug sweep.
+
+    Three classes of silent misbehaviour: booleans accepted as catalog
+    indices (``True`` screened drug 1), ``pairs_scored`` overcounting
+    excluded candidates, and the vectorized id lookup widening only the
+    query side of the dtype comparison.
+    """
+
+    def test_screen_rejects_bool_query(self, service):
+        with pytest.raises(TypeError, match="bool"):
+            service.screen(True)
+        with pytest.raises(TypeError, match="bool"):
+            service.screen(np.True_)
+
+    def test_screen_batch_rejects_bool_query(self, service):
+        with pytest.raises(TypeError, match="bool"):
+            service.screen_batch([0, False])
+
+    def test_score_pairs_rejects_bool_pairs(self, service):
+        with pytest.raises(TypeError, match="bool"):
+            service.score_pairs(np.array([[True, False]]))
+
+    def test_exclude_rejects_bools(self, service):
+        with pytest.raises(TypeError, match="bool"):
+            service.screen(0, exclude=(True,))
+
+    def test_top_k_rejects_bools(self, service):
+        with pytest.raises(TypeError):
+            service.screen(0, top_k=True)
+
+    def test_pairs_scored_counts_eligible_pairs_only(self, setup):
+        corpus, _, model, _, builder = setup
+        service = DDIScreeningService(model, builder, corpus)
+        service.refresh()
+        n = service.num_drugs
+        base = service.stats.pairs_scored
+        service.screen(0, top_k=3)
+        # The query itself is always excluded, so n - 1 pairs are scored.
+        assert service.stats.pairs_scored - base == n - 1
+        base = service.stats.pairs_scored
+        service.screen(0, top_k=3, exclude=(1, 2))
+        assert service.stats.pairs_scored - base == n - 3
+        base = service.stats.pairs_scored
+        service.screen(0, top_k=3, symmetric=True)
+        assert service.stats.pairs_scored - base == 2 * (n - 1)
+
+    def test_id_lookup_widens_both_sides(self, service):
+        ids = service._drug_ids
+        # A query id longer than every catalog id forces the *table* to
+        # widen (the query array's string dtype is the wider one).
+        long_id = max(ids, key=len) + "_longer_than_any_catalog_id"
+        with pytest.raises(KeyError, match="unknown drug id"):
+            service.score_id_pairs([(ids[0], long_id)])
+        # Valid ids still resolve when the query array is artificially
+        # wider than the catalog table.
+        wide = np.asarray([[ids[0], ids[1]]], dtype="<U128")
+        np.testing.assert_array_equal(
+            service._ids_to_indices(wide).reshape(-1),
+            [service.index_of(ids[0]), service.index_of(ids[1])])
+
+    def test_id_lookup_mixed_batch_names_the_unknown(self, service):
+        ids = service._drug_ids
+        long_id = "z" * 64
+        with pytest.raises(KeyError, match="unknown drug id"):
+            service.score_id_pairs([(ids[0], ids[1]), (long_id, ids[2])])
+
+
 class TestCachePersistence:
     def test_round_trip_scores_identical(self, setup, query_pairs, tmp_path):
         corpus, _, model, _, builder = setup

@@ -454,12 +454,14 @@ class TestApproxStats:
         assert rescored == 12
         assert rescored < n
 
-    def test_exact_mode_counts_unchanged(self, setup):
+    def test_exact_mode_counts_eligible_pairs(self, setup):
         service = _service(setup)
         service.screen(0, top_k=3)
         base = service.stats.pairs_scored
+        # The query itself is always excluded, so one screen charges
+        # num_drugs - 1 exact evaluations, not num_drugs.
         service.screen(1, top_k=3)
-        assert service.stats.pairs_scored - base == service.num_drugs
+        assert service.stats.pairs_scored - base == service.num_drugs - 1
         assert service.stats.prefilter_pairs == 0
 
 
