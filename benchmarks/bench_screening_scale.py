@@ -31,6 +31,10 @@ Gates (exit non-zero on violation, so CI can run it as a regression guard):
    the ``(N, 2d)`` concat the legacy path materializes — i.e. O(block + k),
    no full pair materialization.
 
+Measured numbers are written to a machine-readable ``BENCH_screening.json``
+(``BENCH_screening_quick.json`` under ``--quick``) so the perf trajectory
+is tracked across PRs.
+
     PYTHONPATH=src python benchmarks/bench_screening_scale.py          # 2000 drugs
     PYTHONPATH=src python benchmarks/bench_screening_scale.py --quick  # CI-sized
 """
@@ -38,6 +42,7 @@ Gates (exit non-zero on violation, so CI can run it as a regression guard):
 from __future__ import annotations
 
 import argparse
+import json
 import statistics
 import sys
 import time
@@ -93,7 +98,8 @@ def _hit_list(hits) -> list[tuple[int, float]]:
 
 
 def run(num_drugs: int, top_k: int, block_size: int, hidden_dim: int,
-        repeats: int, min_speedup: float, seed: int = 0) -> int:
+        repeats: int, min_speedup: float, output: str,
+        seed: int = 0) -> int:
     rng = np.random.default_rng(seed)
     print(f"generating {num_drugs}-drug catalog "
           f"(hidden_dim={hidden_dim}) ...", flush=True)
@@ -233,6 +239,38 @@ def run(num_drugs: int, top_k: int, block_size: int, hidden_dim: int,
 
     if speedup < min_speedup:
         failures.append(f"speedup {speedup:.1f}x below {min_speedup:.0f}x")
+
+    results = {
+        "config": {
+            "num_drugs": num_drugs,
+            "top_k": top_k,
+            "block_size": block_size,
+            "hidden_dim": hidden_dim,
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "screen_ms": {
+            "legacy": legacy_s * 1000,
+            "engine": engine_s * 1000,
+            "engine_batched_per_query": batch_each_s * 1000,
+            "dot_exact": dot_exact_s * 1000,
+            "dot_approx": dot_approx_s * 1000,
+        },
+        "screen_speedup": speedup,
+        "narrow_speedup": narrow_speedup,
+        "mlp_probability_gap": prob_gap,
+        "peak_scoring_bytes": {"legacy": legacy_peak, "engine": engine_peak,
+                               "pair_concat": concat_bytes},
+        "dot_approx_recall": recall,
+        "gates": {"min_speedup": min_speedup},
+        "failures": failures,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+    }
+    with open(output, "w") as handle:
+        json.dump(results, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {output}")
+
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     if not failures:
@@ -257,6 +295,12 @@ def main() -> int:
     parser.add_argument("--min-speedup", type=float, default=None,
                         help="failure floor (default: 5, quick: 2)")
     parser.add_argument("--seed", type=int, default=0)
+    # --quick writes to a separate file by default so a smoke run never
+    # clobbers the committed full-gate record.
+    parser.add_argument("--output", default=None,
+                        help="JSON results path (default: "
+                             "BENCH_screening.json, quick: "
+                             "BENCH_screening_quick.json)")
     args = parser.parse_args()
     if args.top_k < 1:
         parser.error("--top-k must be >= 1")
@@ -272,8 +316,10 @@ def main() -> int:
     block_size = args.block_size or (128 if args.quick else 1024)
     repeats = args.repeats or (5 if args.quick else 20)
     min_speedup = args.min_speedup or (2.0 if args.quick else 5.0)
+    output = args.output or ("BENCH_screening_quick.json" if args.quick
+                             else "BENCH_screening.json")
     return run(num_drugs, args.top_k, block_size, args.hidden_dim, repeats,
-               min_speedup, seed=args.seed)
+               min_speedup, output, seed=args.seed)
 
 
 if __name__ == "__main__":

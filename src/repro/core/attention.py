@@ -62,14 +62,24 @@ def fused_kernels(enabled: bool):
 def _incidence_scores(keys: Tensor, queries: Tensor, key_ids: np.ndarray,
                       query_ids: np.ndarray,
                       key_partition: SegmentPartition | None,
-                      query_partition: SegmentPartition | None) -> Tensor:
-    """Eq. (6)/(9) raw scores, fused or via the reference composition."""
+                      query_partition: SegmentPartition | None,
+                      negative_slope: float) -> Tensor:
+    """Eq. (6)/(9) β-activated scores, fused or the reference composition.
+
+    The fused path folds the LeakyReLU β into the score kernel itself
+    (two fewer O(nnz) passes over the score vector); the reference path
+    composes the same arithmetic from separate ops — outputs and
+    gradients are bitwise-identical either way.
+    """
     if _FUSED_ENABLED:
         return F.incidence_scores(keys, queries, key_ids, query_ids,
                                   key_partition=key_partition,
-                                  query_partition=query_partition)
-    return (F.gather_rows(keys, key_ids)
-            * F.gather_rows(queries, query_ids)).sum(axis=1)
+                                  query_partition=query_partition,
+                                  negative_slope=negative_slope)
+    return F.leaky_relu(
+        (F.gather_rows(keys, key_ids)
+         * F.gather_rows(queries, query_ids)).sum(axis=1),
+        negative_slope)
 
 
 def _attend(attention: Tensor, transformed: Tensor, value_ids: np.ndarray,
@@ -117,11 +127,10 @@ class HyperedgeLevelAttention(Module):
         transformed = self.w1(edge_feats)                    # (E, out)
         keys = self.w2(edge_feats)                           # (E, a)
         queries = self.w3(node_feats)                        # (V, a)
-        # Eq. (6): score per incidence entry, grouped by node.
-        scores = F.leaky_relu(
-            _incidence_scores(keys, queries, edge_ids, node_ids,
-                              edge_partition, node_partition),
-            self.negative_slope)
+        # Eq. (6): β-activated score per incidence entry, grouped by node.
+        scores = _incidence_scores(keys, queries, edge_ids, node_ids,
+                                   edge_partition, node_partition,
+                                   self.negative_slope)
         # Eq. (5): softmax over the hyperedges containing each node.
         attention = F.segment_softmax(scores, node_ids, num_nodes,
                                       partition=node_partition)
@@ -155,11 +164,10 @@ class NodeLevelAttention(Module):
                 node_partition: SegmentPartition | None) -> Tensor:
         keys = self.w5(node_feats)                           # (V, a)
         queries = self.w6(edge_feats)                        # (E, a)
-        # Eq. (9): score per incidence entry, grouped by hyperedge.
-        return F.leaky_relu(
-            _incidence_scores(keys, queries, node_ids, edge_ids,
-                              node_partition, edge_partition),
-            self.negative_slope)
+        # Eq. (9): β-activated score per incidence entry, grouped by edge.
+        return _incidence_scores(keys, queries, node_ids, edge_ids,
+                                 node_partition, edge_partition,
+                                 self.negative_slope)
 
     def forward(self, node_feats: Tensor, edge_feats: Tensor,
                 node_ids: np.ndarray, edge_ids: np.ndarray,

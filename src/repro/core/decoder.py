@@ -54,20 +54,33 @@ _SCRATCH_CACHE_LIMIT = 8
 # Scoring kernels tile candidate rows so per-tile scratch stays ~256 KB
 # (L2-resident); the tile size adapts to query-batch width.
 _KERNEL_TILE_ELEMENTS = 32768
+# The float32 BLAS-reduction path amortises its GEMV dispatch over much
+# larger tiles (~4 MB of float32 scratch) — the ones-vector product streams
+# rather than re-reads, so L2 residency matters less than loop overhead.
+_KERNEL_TILE_ELEMENTS_BLAS = 1048576
 
 
 class _ScratchMixin:
-    """Reusable per-shape numpy scratch buffers for the screening kernels."""
+    """Reusable per-(shape, dtype) numpy scratch buffers for the kernels."""
 
-    def _scratch(self, shape: tuple[int, ...]) -> np.ndarray:
+    def _scratch(self, shape: tuple[int, ...],
+                 dtype: np.dtype = np.float64) -> np.ndarray:
         cache = self.__dict__.setdefault("_scratch_bufs", {})
-        buffer = cache.get(shape)
+        key = (shape, np.dtype(dtype))
+        buffer = cache.get(key)
         if buffer is None:
             if len(cache) >= _SCRATCH_CACHE_LIMIT:
                 cache.clear()
-            buffer = np.empty(shape)
-            cache[shape] = buffer
+            buffer = np.empty(shape, dtype=dtype)
+            cache[key] = buffer
         return buffer
+
+
+def _serving_dtype(array: np.ndarray) -> np.dtype:
+    """The screening dtype an operand implies: its own if floating, else f64."""
+    if np.issubdtype(array.dtype, np.floating):
+        return array.dtype
+    return np.dtype(np.float64)
 
 
 class MLPDecoder(_ScratchMixin, Module):
@@ -77,10 +90,14 @@ class MLPDecoder(_ScratchMixin, Module):
     decoder side, Sec. IV-B); output is a scalar logit per pair.
     """
 
-    # Screening-engine traits: γ(x, y) != γ(y, x), no cheap inner-product
-    # prefilter exists for the MLP form.
+    # Screening-engine traits: γ(x, y) != γ(y, x).  No *exact* inner-product
+    # form exists for the MLP scorer, but a low-rank sketch of the candidate
+    # projections (see sketch_factors) gives an approximate prefilter whose
+    # shortlist the engine exact-reranks; the sketch must be materialised
+    # per (weights, catalog) version before approx screening works.
     is_symmetric = False
-    supports_prefilter = False
+    supports_prefilter = True
+    needs_sketch = True
 
     def __init__(self, embed_dim: int, hidden_dim: int,
                  rng: np.random.Generator):
@@ -127,12 +144,16 @@ class MLPDecoder(_ScratchMixin, Module):
         averages in.
         """
         embeddings = np.asarray(embeddings)
+        dtype = _serving_dtype(embeddings)
         w_query, w_cand, _ = self.split_f1()
-        w2 = self.f2.weight.data[:, 0]
+        # Weights are cast to the embeddings' dtype (a no-op for float64)
+        # so a float32 catalog yields float32 projections instead of the
+        # GEMM silently promoting to float64.
+        w2 = self.f2.weight.data[:, 0].astype(dtype, copy=False)
         order, split = self._column_order()
 
         def sides(weight):
-            scaled = embeddings @ weight * w2
+            scaled = embeddings @ weight.astype(dtype, copy=False) * w2
             return (np.ascontiguousarray(scaled[:, order[:split]]),
                     np.ascontiguousarray(scaled[:, order[split:]]))
 
@@ -153,11 +174,14 @@ class MLPDecoder(_ScratchMixin, Module):
         (forward-only screens never need ``as_right``).
         """
         queries = np.atleast_2d(np.asarray(queries))
+        dtype = _serving_dtype(queries)
         w_query, w_cand, bias = self.split_f1()
-        w2 = self.f2.weight.data[:, 0]
-        bias2 = self.f2.bias.data[0]
+        w2 = self.f2.weight.data[:, 0].astype(dtype, copy=False)
+        bias = bias.astype(dtype, copy=False)
+        bias2 = dtype.type(self.f2.bias.data[0])
         order, split = self._column_order()
-        weights = {"as_left": w_query, "as_right": w_cand}
+        weights = {"as_left": w_query.astype(dtype, copy=False),
+                   "as_right": w_cand.astype(dtype, copy=False)}
 
         def side(weight):
             if len(queries) == 1:
@@ -190,38 +214,194 @@ class MLPDecoder(_ScratchMixin, Module):
         cand_min = cand_proj[f"{cand_orient}_min"]
         g_max, g_min, const = query["g_max"], query["g_min"], query["const"]
         num_queries, num_cands = len(const), len(cand_max)
-        out = np.empty((num_queries, num_cands))
+        dtype = np.result_type(_serving_dtype(const), _serving_dtype(cand_max))
+        out = np.empty((num_queries, num_cands), dtype=dtype)
         out[:] = const[:, None]
         # Row-tile so the folded scratch stays cache-resident, then fold
         # each sign block with one contiguous max/min pass and reduce it
         # immediately.  Tiling is invisible to the result — every op is
         # per-element / per-row.
+        #
+        # The reduction is dtype-gated: float64 keeps numpy's pairwise
+        # ``sum`` (bitwise-stable with the training path and every prior
+        # release), while float32 — the low-precision serving tier, which
+        # only promises rank agreement, not bit equality with float64 —
+        # reduces via a BLAS ones-GEMV over much larger tiles.  sgemv runs
+        # ~2x faster than the pairwise reduce at these widths, which is
+        # where most of the float32 tier's speedup comes from.
+        blas_reduce = dtype == np.dtype(np.float32)
+        budget = (_KERNEL_TILE_ELEMENTS_BLAS if blas_reduce
+                  else _KERNEL_TILE_ELEMENTS)
         for cand_part, g_part, ufunc in ((cand_max, g_max, np.maximum),
                                          (cand_min, g_min, np.minimum)):
             width = cand_part.shape[1]
             if not width:
                 continue
-            tile = max(16, _KERNEL_TILE_ELEMENTS
-                       // max(num_queries * width, 1))
+            ones = np.ones(width, dtype=dtype) if blas_reduce else None
+            tile = max(16, budget // max(num_queries * width, 1))
             rows = min(tile, num_cands) or 1
             if num_queries == 1:
                 # 2D tiles: numpy's elementwise loops are markedly faster
                 # on 2D arrays than on broadcast 3D ones; bitwise equal.
                 g_row = g_part[0]
-                scratch = self._scratch((rows, width))
+                scratch = self._scratch((rows, width), dtype)
                 for start in range(0, num_cands, tile):
                     block = cand_part[start:start + tile]
                     folded = scratch[:len(block)]
                     ufunc(block, g_row, out=folded)
-                    out[0, start:start + len(block)] += folded.sum(axis=-1)
+                    if blas_reduce:
+                        out[0, start:start + len(block)] += folded @ ones
+                    else:
+                        out[0, start:start + len(block)] += \
+                            folded.sum(axis=-1)
             else:
-                scratch = self._scratch((num_queries, rows, width))
+                scratch = self._scratch((num_queries, rows, width), dtype)
                 for start in range(0, num_cands, tile):
                     block = cand_part[start:start + tile]
                     folded = scratch[:, :len(block)]
                     ufunc(block[None, :, :], g_part[:, None, :], out=folded)
-                    out[:, start:start + len(block)] += folded.sum(axis=-1)
+                    if blas_reduce:
+                        out[:, start:start + len(block)] += folded @ ones
+                    else:
+                        out[:, start:start + len(block)] += \
+                            folded.sum(axis=-1)
         return out
+
+    def score_rows(self, query_proj: dict[str, dict[str, np.ndarray]],
+                   cand_rows: dict[str, np.ndarray],
+                   reverse: bool = False) -> np.ndarray:
+        """``(Q, K)`` logits where query ``qi`` scores its own ``K`` rows.
+
+        The gather-rerank kernel for approximate screening: ``cand_rows``
+        holds per-query candidate operands of shape ``(Q, K, width)``
+        gathered from the per-query shortlists, so one vectorised pass
+        replaces ``Q`` single-query :meth:`score_block` calls.  The fold
+        and the reduction mirror ``score_block`` exactly — same
+        accumulation order, pairwise ``sum`` for float64, ones-GEMV for
+        float32 — so reranked probabilities are bitwise what exact mode
+        reports for the same pairs.
+        """
+        orient = "as_right" if reverse else "as_left"
+        cand_orient = "as_left" if reverse else "as_right"
+        query = query_proj[orient]
+        cand_max = cand_rows[f"{cand_orient}_max"]
+        cand_min = cand_rows[f"{cand_orient}_min"]
+        g_max, g_min, const = query["g_max"], query["g_min"], query["const"]
+        dtype = np.result_type(_serving_dtype(const),
+                               _serving_dtype(cand_max))
+        num_queries, num_rows = cand_max.shape[:2]
+        out = np.empty((num_queries, num_rows), dtype=dtype)
+        out[:] = const[:, None]
+        blas_reduce = dtype == np.dtype(np.float32)
+        for cand_part, g_part, ufunc in ((cand_max, g_max, np.maximum),
+                                         (cand_min, g_min, np.minimum)):
+            width = cand_part.shape[2]
+            if not width:
+                continue
+            folded = ufunc(cand_part, g_part[:, None, :])
+            if blas_reduce:
+                out += folded @ np.ones(width, dtype=dtype)
+            else:
+                out += folded.sum(axis=-1)
+        return out
+
+    # ------------------------------------------------------------------
+    # Approximate prefilter: low-rank sketch of the candidate projections
+    # ------------------------------------------------------------------
+    #
+    # The exact kernel's candidate-dependent term is
+    #     Σ_j max(D_j, g_j)  +  Σ_j min(D_j, g_j)
+    # over the sign-split columns of D = (E @ W_c)·w2.  Linearising each
+    # max/min in D around the catalog column statistics gives the surrogate
+    #     Σ_j s_j(q)·(D_j − μ_j) + terms independent of the candidate,
+    # where s_j(q) ∈ [0, 1] is the smoothed probability that the
+    # candidate-dependent branch is live — the max branch (D_j > g_j) for
+    # max columns, the min branch (D_j < g_j) for min columns — estimated
+    # from the column mean μ_j and spread σ_j via a logistic CDF.  (A hard
+    # 0/1 indicator at μ loses several recall points at the shortlist
+    # boundary; the soft slope costs the same single GEMM.)  Ranking
+    # candidates per query only needs the candidate-dependent part, and
+    # projecting (D − μ) onto the top principal components V turns it
+    # into one rank-r GEMM:
+    #     scorẽ(q, c) = (Vᵀ s(q)) · sketch(c),   sketch(c) = (D_c − μ) @ V.
+    # The sketch is a *ranking* surrogate only — approx mode always
+    # exact-reranks the oversampled shortlist with score_block.
+
+    def sketch_factors(self, projections: dict[str, np.ndarray],
+                       rank: int | None = None) -> dict[str, np.ndarray]:
+        """``{"mean", "std", "components"}`` from catalog candidate projections.
+
+        Computed once per (weights, catalog) version via an eigendecomposition
+        of the h×h covariance of ``D = [as_right_max ∥ as_right_min]`` —
+        O(N·h²) BLAS + O(h³), independent of catalog size beyond the GEMM.
+        """
+        cand = np.concatenate([projections["as_right_max"],
+                               projections["as_right_min"]], axis=1)
+        width = cand.shape[1]
+        if rank is None:
+            # Half the operand width keeps ~all of the skewed real-catalog
+            # spectrum (raising it further adds noisy directions and costs
+            # recall); the prefilter GEMM stays 2x slimmer than exact.
+            rank = max(8, width // 2)
+        rank = max(1, min(int(rank), width))
+        mean = cand.mean(axis=0)
+        centered = cand - mean
+        std = centered.std(axis=0)
+        std[std == 0.0] = 1.0  # constant columns: any slope scale works
+        cov = (centered.T @ centered).astype(np.float64, copy=False)
+        _, eigvecs = np.linalg.eigh(cov)
+        components = np.ascontiguousarray(eigvecs[:, ::-1][:, :rank])
+        return {"mean": mean, "std": std,
+                "components": components.astype(cand.dtype, copy=False)}
+
+    def sketch_candidates(self, projections: dict[str, np.ndarray],
+                          factors: dict[str, np.ndarray]) -> np.ndarray:
+        """``(N, rank)`` sketch rows: ``(D − μ) @ V``, one GEMM."""
+        cand = np.concatenate([projections["as_right_max"],
+                               projections["as_right_min"]], axis=1)
+        return (cand - factors["mean"]) @ factors["components"]
+
+    def sketch_queries(self, query_proj: dict[str, dict[str, np.ndarray]],
+                       factors: dict[str, np.ndarray]) -> np.ndarray:
+        """``(num_queries, rank)`` query operands ``Vᵀ s(q)`` for the sketch GEMM.
+
+        ``s`` follows the same contiguous [max block ∥ min block] column
+        layout as the candidate sketch; each entry is the smoothed
+        live-branch probability ``Φ((±(μ_j − g_j)) / σ_j)`` from the
+        catalog statistics carried in ``factors`` (logistic approximation
+        of the normal CDF, computed via the numerically safe ``tanh``).
+        Factors from an older snapshot without ``"std"`` fall back to the
+        hard 0/1 indicator at μ.
+        """
+        side = query_proj["as_left"]
+        g_max, g_min = side["g_max"], side["g_min"]
+        mean, components = factors["mean"], factors["components"]
+        std = factors.get("std")
+        split = g_max.shape[1]
+        live = np.empty((len(g_max), mean.shape[0]), dtype=components.dtype)
+        if std is None:
+            live[:, :split] = mean[:split] > g_max
+            live[:, split:] = mean[split:] < g_min
+        else:
+            live[:, :split] = (mean[:split] - g_max) / std[:split]
+            live[:, split:] = (g_min - mean[split:]) / std[split:]
+            # logistic(1.702·z) ≈ Φ(z), written as tanh so extreme z are
+            # exact 0/1 instead of overflowing an exp.
+            np.multiply(live, 0.851, out=live)
+            np.tanh(live, out=live)
+            np.add(live, 1.0, out=live)
+            np.multiply(live, 0.5, out=live)
+        return live @ components
+
+    def prefilter_block(self, query_proj: dict[str, dict[str, np.ndarray]],
+                        cand_proj: dict[str, np.ndarray]) -> np.ndarray:
+        """Approximate-mode scores: one ``(B, r) @ (r, nq)`` GEMM per block.
+
+        Requires the ``"sketch"`` candidate rows (ride the projections
+        dict) and the query-side operand stashed by the service under
+        ``query_proj["sketch"]`` via :meth:`sketch_queries`.
+        """
+        return (cand_proj["sketch"] @ query_proj["sketch"].T).T
 
 
 class DotDecoder(_ScratchMixin, Module):
@@ -229,6 +409,7 @@ class DotDecoder(_ScratchMixin, Module):
 
     is_symmetric = True
     supports_prefilter = True
+    needs_sketch = False
 
     def __init__(self):
         super().__init__()
@@ -260,11 +441,12 @@ class DotDecoder(_ScratchMixin, Module):
         queries = query_proj["emb"]
         cand = cand_proj["emb"]
         num_cands, width = cand.shape
-        out = np.empty((len(queries), num_cands))
+        dtype = np.result_type(_serving_dtype(queries), _serving_dtype(cand))
+        out = np.empty((len(queries), num_cands), dtype=dtype)
         # Same cache-tiling rationale as the MLP kernel: multiply into an
         # L2-resident scratch tile and reduce it immediately.
         tile = max(16, _KERNEL_TILE_ELEMENTS // max(width, 1))
-        scratch = self._scratch((min(tile, num_cands) or 1, width))
+        scratch = self._scratch((min(tile, num_cands) or 1, width), dtype)
         for qi, row in enumerate(queries):
             for start in range(0, num_cands, tile):
                 block = cand[start:start + tile]
@@ -308,12 +490,17 @@ class _PicklableKernel(_ScratchMixin):
 class MLPScreenKernel(_PicklableKernel):
     is_symmetric = MLPDecoder.is_symmetric
     supports_prefilter = MLPDecoder.supports_prefilter
+    needs_sketch = MLPDecoder.needs_sketch
     score_block = MLPDecoder.score_block
+    score_rows = MLPDecoder.score_rows
+    sketch_queries = MLPDecoder.sketch_queries
+    prefilter_block = MLPDecoder.prefilter_block
 
 
 class DotScreenKernel(_PicklableKernel):
     is_symmetric = DotDecoder.is_symmetric
     supports_prefilter = DotDecoder.supports_prefilter
+    needs_sketch = DotDecoder.needs_sketch
     score_block = DotDecoder.score_block
     prefilter_block = DotDecoder.prefilter_block
 

@@ -617,12 +617,30 @@ def _incidence_scores_forward(ctx, keys, queries, out=None):
     key_ids, query_ids = ctx["key_ids"], ctx["query_ids"]
     if out is None:
         out = np.empty(key_ids.shape, dtype=keys.dtype)
-    return _blockwise_row_dot(keys, key_ids, queries, query_ids, out, ctx,
-                              "f_", ctx["block_rows"])
+    out = _blockwise_row_dot(keys, key_ids, queries, query_ids, out, ctx,
+                             "f_", ctx["block_rows"])
+    slope = ctx.get("negative_slope")
+    if slope is not None:
+        # Fused LeakyReLU: same mask/scale/multiply arithmetic as the
+        # standalone op, applied in place on the fresh scores — one fewer
+        # O(nnz) read+write pass, bitwise-identical values.
+        mask = np.greater(out, 0, out=ctx_buffer(ctx, "lr_mask", out.shape,
+                                                 bool))
+        scale = ctx_buffer(ctx, "lr_scale", out.shape, out.dtype)
+        np.copyto(scale, slope)
+        np.copyto(scale, 1.0, where=mask)
+        np.multiply(out, scale, out=out)
+    return out
 
 
 def _incidence_scores_backward(ctx, out, keys, queries):
     grad = out.grad
+    if ctx.get("negative_slope") is not None:
+        # Chain through the fused activation first: d(raw)/d(score) is the
+        # cached scale — the same multiply the standalone backward does.
+        grad = np.multiply(grad, ctx["lr_scale"],
+                           out=ctx_buffer(ctx, "lr_g", grad.shape,
+                                          grad.dtype))
     key_ids, query_ids = ctx["key_ids"], ctx["query_ids"]
     block_rows = ctx["block_rows"]
     grad_keys = grad_queries = None
@@ -660,13 +678,19 @@ def incidence_scores(keys: Tensor, queries: Tensor, key_ids: np.ndarray,
                      query_ids: np.ndarray, *,
                      key_partition: SegmentPartition | None = None,
                      query_partition: SegmentPartition | None = None,
-                     block_rows: int | None = None) -> Tensor:
+                     block_rows: int | None = None,
+                     negative_slope: float | None = None) -> Tensor:
     """Per-incidence bilinear scores ``sum_d keys[key_ids]·queries[query_ids]``.
 
     The fused Eq. (6)/(9) kernel: a 1-D score per (node, hyperedge)
     incidence entry, computed blockwise so the two gathered ``(nnz, a)``
     operands and their product are never materialised — bitwise-identical to
     ``(gather_rows(keys, key_ids) * gather_rows(queries, query_ids)).sum(1)``.
+
+    ``negative_slope`` additionally fuses a LeakyReLU onto the scores in
+    the same kernel (two fewer O(nnz) passes over the score vector than a
+    separate activation op), bitwise-identical — forward values and
+    gradients — to ``leaky_relu(incidence_scores(...), negative_slope)``.
 
     ``key_partition`` / ``query_partition`` are optional
     :class:`SegmentPartition` groupings of the incidence entries by
@@ -692,7 +716,8 @@ def incidence_scores(keys: Tensor, queries: Tensor, key_ids: np.ndarray,
                     ctx={"key_ids": key_ids, "query_ids": query_ids,
                          "key_partition": key_partition,
                          "query_partition": query_partition,
-                         "block_rows": block_rows})
+                         "block_rows": block_rows,
+                         "negative_slope": negative_slope})
 
 
 def _segment_attend_forward(ctx, att, values, out=None):

@@ -6,8 +6,13 @@ weight updates and incremental (cold-start, paper Table IX) registration of
 new drugs.  Screening runs on a scale-aware engine: precomputed split-weight
 decoder projections, blockwise streaming top-k (O(block + k) peak memory),
 sharded catalogs with deterministic merge, query micro-batching, and an
-optional inner-product prefilter for approximate top-k at very large
-catalog sizes.  Under concurrency, :class:`ScreeningGateway` is the
+optional prefilter (inner products for the dot decoder, a low-rank sketch
+for the MLP decoder) for approximate top-k at very large catalog sizes.
+Precision tiers trade exactness for throughput explicitly: float32
+serving halves memory bandwidth on the GEMM-bound hot loop, and int8
+shard stores (~8x smaller) feed the approximate prefilter while the
+shortlist reranks against exact rows.  Under concurrency,
+:class:`ScreeningGateway` is the
 asyncio front door: it coalesces concurrent requests into dynamic
 micro-batches (one engine pass per flush) with admission control,
 per-request deadlines, graceful drain, and p50/p99/QPS stats — coalesced
@@ -19,6 +24,9 @@ from .cache import (FINGERPRINT_MODES, EmbeddingCache, LatencyWindow,
 from .executor import ParallelShardExecutor, exact_score_fn
 from .gateway import (DeadlineExceeded, GatewayClosed, GatewayOverloaded,
                       ScreeningGateway)
+from .precision import (QUANTIZATION_SCHEMES, SERVING_PRECISIONS,
+                        dequantize_int8, max_abs_error, quantize_int8,
+                        rank_agreement, recall_at_k, resolve_precision)
 from .service import DDIScreeningService, ScreenHit
 from .shards import CatalogShard, ShardedEmbeddingCatalog
 from .store import MappedShardCatalog, ShardStore
@@ -34,4 +42,7 @@ __all__ = [
     "ShardStore", "MappedShardCatalog",
     "ParallelShardExecutor", "exact_score_fn",
     "TopKAccumulator", "merge_top_k", "top_k_desc",
+    "SERVING_PRECISIONS", "QUANTIZATION_SCHEMES", "resolve_precision",
+    "quantize_int8", "dequantize_int8",
+    "rank_agreement", "recall_at_k", "max_abs_error",
 ]

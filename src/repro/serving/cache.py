@@ -226,6 +226,9 @@ class EmbeddingCache:
     context: EncoderContext | None = None
     embeddings: np.ndarray | None = None  # (num_catalog_drugs, hidden_dim)
     projections: dict[str, np.ndarray] | None = None  # candidate precompute
+    # Low-rank prefilter factors ({"mean", "components"}) behind the
+    # projections' "sketch" rows; per (weights, catalog) version like them.
+    sketch_factors: dict[str, np.ndarray] | None = None
     catalog_digest: str | None = None     # set by save()/load() snapshots
     shard_manifest: str | None = None     # shard-store manifest path, if any
     version: int = 0                      # globally unique content token
@@ -245,6 +248,7 @@ class EmbeddingCache:
         self.context = None
         self.embeddings = None
         self.projections = None
+        self.sketch_factors = None
         self.version = next(_VERSION_COUNTER)
 
     def install(self, fingerprint: tuple, context: EncoderContext,
@@ -254,6 +258,7 @@ class EmbeddingCache:
         self.context = context
         self.embeddings = embeddings
         self.projections = projections
+        self.sketch_factors = None
         self.version = next(_VERSION_COUNTER)
         self.stats.corpus_encodes += 1
 
@@ -291,8 +296,28 @@ class EmbeddingCache:
             raise RuntimeError("cannot project an invalid cache")
         if self.projections is None:
             self.projections = decoder.candidate_projections(self.embeddings)
+            self.sketch_factors = None  # factors described dropped rows
             self.version = next(_VERSION_COUNTER)
         return self.projections
+
+    def ensure_sketch(self, decoder,
+                      rank: int | None = None) -> dict[str, np.ndarray]:
+        """Low-rank prefilter factors + ``"sketch"`` projection rows, once.
+
+        ``decoder`` must expose ``sketch_factors`` / ``sketch_candidates``
+        (the MLP decoder's PCA surrogate).  The sketch rows live *inside*
+        the projections dict, so they ride shard blocking, persistence,
+        and the shard store exactly like the exact-kernel projections;
+        the factors ride alongside for query-side sketching.
+        """
+        projections = self.ensure_projections(decoder)
+        if "sketch" in projections and self.sketch_factors is not None:
+            return self.sketch_factors
+        self.sketch_factors = decoder.sketch_factors(projections, rank=rank)
+        projections["sketch"] = decoder.sketch_candidates(
+            projections, self.sketch_factors)
+        self.version = next(_VERSION_COUNTER)
+        return self.sketch_factors
 
     # ------------------------------------------------------------------
     # Persistence: ``.npz`` with the weight fingerprint baked in, so a warm
@@ -341,6 +366,11 @@ class EmbeddingCache:
             for name in self.projections:
                 if name not in aliases:
                     arrays[f"projection_{name}"] = self.projections[name]
+        if self.sketch_factors is not None:
+            arrays["sketch_mean"] = self.sketch_factors["mean"]
+            arrays["sketch_components"] = self.sketch_factors["components"]
+            if self.sketch_factors.get("std") is not None:
+                arrays["sketch_std"] = self.sketch_factors["std"]
         np.savez_compressed(path, **arrays)
         return path
 
@@ -365,11 +395,19 @@ class EmbeddingCache:
                 projections = {str(name): (embeddings if str(name) in aliases
                                            else archive[f"projection_{name}"])
                                for name in archive["projection_names"]}
+            sketch_factors = None
+            if "sketch_mean" in archive.files:
+                sketch_factors = {
+                    "mean": archive["sketch_mean"],
+                    "components": archive["sketch_components"]}
+                if "sketch_std" in archive.files:
+                    sketch_factors["std"] = archive["sketch_std"]
         cache = cls()
         cache.fingerprint = fingerprint
         cache.context = context
         cache.embeddings = embeddings
         cache.projections = projections
+        cache.sketch_factors = sketch_factors
         cache.catalog_digest = digest or None
         cache.shard_manifest = manifest or None
         # A loaded snapshot is new content as far as derived structures are

@@ -39,8 +39,10 @@ from ..core.model import HyGNN
 from ..core.serialize import load_model
 from ..hypergraph import DrugHypergraphBuilder, Hypergraph
 from ..nn import Tensor
+from ..nn.functional import stable_sigmoid
 from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
 from .executor import ParallelShardExecutor, exact_score_fn
+from .precision import dequantize_int8, resolve_precision
 from .shards import ShardedEmbeddingCatalog, normalize_top_k
 from .store import ShardStore
 
@@ -52,6 +54,23 @@ class ScreenHit:
     index: int
     drug_id: str
     probability: float
+
+
+def _slice_query(query_proj: dict, qi: int) -> dict:
+    """One query's single-row slice of a (possibly nested) projections dict.
+
+    The dot decoder's query projections are flat arrays; the MLP decoder
+    nests per-side operand dicts (``{"as_left": {"const", "g_max", ...}}``)
+    under the side names, with flat extras (the ``"sketch"`` operand)
+    alongside.  Both shapes slice to a one-query view here.
+    """
+    sliced = {}
+    for name, value in query_proj.items():
+        if isinstance(value, dict):
+            sliced[name] = {k: v[qi:qi + 1] for k, v in value.items()}
+        else:
+            sliced[name] = value[qi:qi + 1]
+    return sliced
 
 
 class DDIScreeningService:
@@ -83,7 +102,9 @@ class DDIScreeningService:
                  fingerprint_mode: str = "fast",
                  block_size: int = 1024,
                  num_shards: int = 1,
-                 num_workers: int = 0):
+                 num_workers: int = 0,
+                 precision: str = "float64",
+                 sketch_rank: int | None = None):
         if not catalog_smiles:
             raise ValueError("catalog must contain at least one drug")
         if block_size < 1:
@@ -109,6 +130,16 @@ class DDIScreeningService:
         self._vocab = vocab
         self._auto_refresh = auto_refresh
         self._fingerprint_mode = fingerprint_mode
+        # Serving precision: "float32" downcasts embeddings, decoder
+        # weights, and candidate projections once at cache-build time and
+        # runs the whole blockwise screen in float32 (half the memory
+        # bandwidth on the GEMM-bound hot loop).  float64 (default) stays
+        # bitwise-identical to the training-path scores.  The precision is
+        # folded into the weights fingerprint, so float32 caches/stores
+        # can never masquerade as exact-tier artifacts (or vice versa).
+        self._dtype = resolve_precision(precision)
+        # Rank of the MLP prefilter sketch (None = decoder default).
+        self._sketch_rank = sketch_rank
         self._smiles: list[str] = list(catalog_smiles)
         self._drug_ids: list[str] = list(drug_ids)
         self._index: dict[str, int] = {d: i for i, d in enumerate(drug_ids)}
@@ -277,7 +308,8 @@ class DDIScreeningService:
     # Out-of-core shard store + parallel execution
     # ------------------------------------------------------------------
     def save_shards(self, path: str | Path, num_shards: int | None = None,
-                    block_size: int | None = None) -> Path:
+                    block_size: int | None = None,
+                    quantize: str | None = None) -> Path:
         """Persist the sharded catalog as an out-of-core store; see
         :class:`~repro.serving.store.ShardStore`.
 
@@ -289,15 +321,30 @@ class DDIScreeningService:
         The manifest location is remembered on the cache, so a subsequent
         :meth:`save_cache`/:meth:`load_cache` round-trip reattaches the
         store automatically.
+
+        ``quantize="int8"`` writes symmetric per-column-scaled int8 shards
+        (~8x smaller store; scales ride the manifest).  A quantized store
+        serves the *approximate* tier only: the mmap prefilter streams
+        int8 pages and the shortlist reranks against exact in-memory rows;
+        exact-mode screens fall back to the in-memory engine.  When the
+        decoder prefilters through a sketch (MLP), the sketch rows and
+        factors are materialised and stored too, so the store is
+        approx-ready on a cold open.
         """
         self._ensure_fresh()
-        projections = self._cache.ensure_projections(self._model.decoder)
+        decoder = self._model.decoder
+        projections = self._cache.ensure_projections(decoder)
+        if getattr(decoder, "needs_sketch", False):
+            self._cache.ensure_sketch(decoder, rank=self._sketch_rank)
+            projections = self._cache.projections
         manifest = ShardStore.save(
             path, self._cache.embeddings, projections,
             num_shards=num_shards or self.num_shards,
             block_size=block_size or self.block_size,
             fingerprint=self._fingerprint(),
-            catalog_digest=self._catalog_digest())
+            catalog_digest=self._catalog_digest(),
+            quantize=quantize,
+            sketch_factors=self._cache.sketch_factors)
         self._cache.shard_manifest = str(manifest)
         return manifest
 
@@ -345,15 +392,22 @@ class DDIScreeningService:
         self._detach_store()
         self._store = store
         self._store_version = self._cache.version
-        # The store now serves the candidate side, so the in-memory copy of
-        # the dominant working set — the precomputed projections, ~4x the
-        # embedding matrix for the MLP decoder — is redundant: release it.
-        # (Assigned directly, NOT via a version bump: the cache content the
-        # store was validated against is unchanged.  If the store detaches
-        # later, ensure_projections recomputes lazily.)  The embeddings and
-        # encoder context stay resident — queries and registrations need
-        # them — so the service's floor is O(N·d), not O(N·d·5).
-        self._cache.projections = None
+        if not store.is_quantized:
+            # The store now serves the candidate side, so the in-memory copy
+            # of the dominant working set — the precomputed projections, ~4x
+            # the embedding matrix for the MLP decoder — is redundant:
+            # release it.  (Assigned directly, NOT via a version bump: the
+            # cache content the store was validated against is unchanged.
+            # If the store detaches later, ensure_projections recomputes
+            # lazily.)  The embeddings and encoder context stay resident —
+            # queries and registrations need them — so the service's floor
+            # is O(N·d), not O(N·d·5).
+            # A *quantized* store keeps them instead: its int8 pages only
+            # serve the approximate prefilter, and both the shortlist
+            # rerank and exact-mode fallback need the exact rows (dropping
+            # them would force a version-bumping recompute that detaches
+            # the store).
+            self._cache.projections = None
         if num_workers is not None:
             if num_workers < 0:
                 raise ValueError("num_workers must be >= 0")
@@ -395,11 +449,24 @@ class DDIScreeningService:
         self.close()
         return False
 
+    @property
+    def precision(self) -> str:
+        """The serving dtype of the screening tier ("float64"/"float32")."""
+        return self._dtype.name
+
     def _fingerprint(self) -> tuple:
         if self._param_list is None:
             self._param_list = sorted(self._model.named_parameters())
-        return weights_fingerprint(self._model, mode=self._fingerprint_mode,
-                                   params=self._param_list)
+        fingerprint = weights_fingerprint(
+            self._model, mode=self._fingerprint_mode,
+            params=self._param_list)
+        if self._dtype != np.float64:
+            # Non-default precisions wrap the weight fingerprint, so a
+            # low-precision cache/store and an exact one can never validate
+            # against each other; float64 fingerprints stay byte-compatible
+            # with snapshots written before precision tiers existed.
+            fingerprint = ("precision", self._dtype.name, fingerprint)
+        return fingerprint
 
     def _ensure_fresh(self, check: bool | None = None) -> None:
         if check is None:
@@ -437,7 +504,10 @@ class DDIScreeningService:
             # would pin the whole corpus-encode autograd graph in the cache.
             detached = EncoderContext(layer_node_feats=tuple(
                 Tensor(t.data) for t in context.layer_node_feats))
-            embeddings = np.concatenate(rows, axis=0)
+            # The encode always runs float64 (training parity); the serving
+            # tier downcasts once here — a no-op at the default precision.
+            embeddings = np.concatenate(rows, axis=0).astype(self._dtype,
+                                                             copy=False)
             self._cache.install(
                 fingerprint, detached, embeddings,
                 projections=model.candidate_projections(embeddings))
@@ -504,8 +574,19 @@ class DDIScreeningService:
                 len(node_lists)).numpy()
         finally:
             model.train(was_training)
-        self._cache.append_rows(
-            rows, projections=model.candidate_projections(rows))
+        rows = rows.astype(self._dtype, copy=False)
+        projections = model.candidate_projections(rows)
+        cached = self._cache.projections
+        if (cached is not None and "sketch" in cached
+                and self._cache.sketch_factors is not None):
+            # Sketch the new rows with the *existing* factors so the
+            # append stays O(new rows) and keeps the precompute alive.
+            # Factors are per (weights, catalog) version — drift from the
+            # appended rows only degrades shortlist recall, never rerank
+            # exactness — and are refreshed on the next full rebuild.
+            projections["sketch"] = self._model.decoder.sketch_candidates(
+                projections, self._cache.sketch_factors)
+        self._cache.append_rows(rows, projections=projections)
 
         indices = []
         for smiles, drug_id, nodes in zip(smiles_list, drug_ids, node_lists):
@@ -597,16 +678,19 @@ class DDIScreeningService:
     # (The pre-engine ``_rank`` — a full stable argsort over dense catalog
     # probabilities — is gone: ranking now happens inside the streaming
     # top-k selection, which reproduces its ordering, ties included.)
-    def _catalog(self) -> ShardedEmbeddingCatalog:
+    def _catalog(self, approx: bool = False) -> ShardedEmbeddingCatalog:
         """The screening catalog for the current cache contents (memoized).
 
         With a shard store attached (and still describing the cache), this
-        is the memory-mapped catalog; otherwise the in-memory one.  Keys
+        is the memory-mapped catalog; otherwise the in-memory one.  A
+        *quantized* store only qualifies for approximate screens — its
+        int8 pages cannot serve the exact tier, so exact mode falls back
+        to the in-memory engine while the store stays attached.  Keys
         embed the cache's globally unique version, so a rebuilt, appended,
         or freshly loaded cache can never be served a stale engine.
         """
         self._sync_store()
-        if self._store is not None:
+        if self._store is not None and (approx or not self._store.is_quantized):
             key = ("store", id(self._store), self.block_size)
             if self._catalog_engine is None or self._catalog_key != key:
                 self._catalog_engine = self._store.catalog(self.block_size)
@@ -637,8 +721,9 @@ class DDIScreeningService:
     def _use_parallel(self, parallel: bool | None, approx: bool) -> bool:
         """Route a screen to the process pool?  Validates explicit asks."""
         self._sync_store()
-        available = (self._store is not None and self.num_workers > 1
-                     and not approx)
+        available = (self._store is not None
+                     and not self._store.is_quantized
+                     and self.num_workers > 1 and not approx)
         if parallel is None:
             return available
         if parallel and not available:
@@ -647,8 +732,8 @@ class DDIScreeningService:
                     "approximate screening runs in-process; drop "
                     "parallel=True or use exact mode")
             raise RuntimeError(
-                "parallel screening needs an attached shard store "
-                "(save_shards + open_shards) and num_workers > 1")
+                "parallel screening needs an attached exact (non-quantized) "
+                "shard store (save_shards + open_shards) and num_workers > 1")
         return bool(parallel)
 
     def _screen_embeddings(self, query_embeddings: np.ndarray,
@@ -666,8 +751,9 @@ class DDIScreeningService:
         in-memory, serial memory-mapped, multi-process).  ``top_k`` may be
         per-query: each query keeps its own accumulator, so heterogeneous
         budgets in one batch reproduce the homogeneous results bitwise.
-        Approximate mode (dot decoder only) prefilters with one
-        inner-product GEMM per block, then exact-reranks the
+        Approximate mode prefilters each block with one cheap GEMM (dot:
+        the inner products themselves; MLP: a low-rank sketch of the
+        split-weight operands), then exact-reranks the
         ``top_k * approx_oversample`` survivors.
         """
         decoder = self._model.decoder
@@ -688,13 +774,16 @@ class DDIScreeningService:
         if approx:
             if not decoder.supports_prefilter:
                 raise ValueError(
-                    f"approximate screening needs an inner-product decoder "
-                    f"(dot); {type(decoder).__name__} has no prefilter")
+                    f"approximate screening needs a decoder with a "
+                    f"prefilter; {type(decoder).__name__} has none")
             if approx_oversample < 1:
                 raise ValueError("approx_oversample must be >= 1")
+            catalog, prefilter, rerank_rows = self._approx_setup(
+                kernel, query_proj)
             results, rescored = self._approx_screen(
-                self._catalog(), kernel, query_proj, num_queries, top_ks,
-                exclude, approx_oversample)
+                catalog, kernel, query_proj, num_queries, top_ks,
+                exclude, approx_oversample, two_sided,
+                prefilter, rerank_rows)
             # The shortlist scan is one cheap comparison per candidate,
             # not an exact pair score; only the rescores are exact.
             stats.prefilter_pairs += num_queries * self.num_drugs
@@ -717,32 +806,157 @@ class DDIScreeningService:
                  for j, p in zip(indices, probs)]
                 for indices, probs in results]
 
-    def _approx_screen(self, catalog, kernel, query_proj, num_queries,
-                       top_ks, exclude, oversample):
-        """Inner-product prefilter, then exact rerank of the survivors.
+    def _approx_setup(self, kernel, query_proj):
+        """Wire the approximate tier for the current engine state.
 
-        Returns ``(results, rescored)`` where ``rescored`` counts the
-        shortlist rows that went through the exact kernel.
+        Returns ``(catalog, prefilter, rerank_rows)``: the catalog whose
+        blocks the shortlist pass streams, the cheap scoring function for
+        those blocks, and the gather that fetches *exact* candidate rows
+        for the rerank.  Three configurations:
+
+        * in-memory — sketch factors are (re)built on the cache as needed,
+          both passes run over the in-memory arrays;
+        * exact shard store — blocks (sketch rows included) stream from
+          the mmap; the rerank gathers the same mapped rows;
+        * quantized shard store — the prefilter dequantizes the int8 pages
+          of its operand on the fly; the rerank reads the exact rows kept
+          in memory, so shortlist probabilities carry no quantization
+          error.
+
+        For a sketch decoder (MLP) this also stashes the per-batch query
+        operand under ``query_proj["sketch"]``.
         """
-        def prefilter(_emb_block, proj_block):
-            return kernel.prefilter_block(query_proj, proj_block)
+        decoder = self._model.decoder
+        needs_sketch = getattr(decoder, "needs_sketch", False)
+        self._sync_store()
+        store = self._store
+        if store is None:
+            if needs_sketch:
+                self._cache.ensure_sketch(decoder, rank=self._sketch_rank)
+                query_proj["sketch"] = kernel.sketch_queries(
+                    query_proj, self._cache.sketch_factors)
+            catalog = self._catalog()
 
+            def prefilter(_emb_block, proj_block):
+                return kernel.prefilter_block(query_proj, proj_block)
+
+            return catalog, prefilter, catalog.rows
+
+        if needs_sketch:
+            factors = self._cache.sketch_factors
+            if factors is None and "sketch" in store.projection_names:
+                factors = store.sketch_factors()
+            if factors is None:
+                raise ValueError(
+                    "attached shard store carries no prefilter sketch for "
+                    f"{type(decoder).__name__}; re-save it with "
+                    "save_shards() to serve approximate mode")
+            # Stash on the cache so later batches (and registrations)
+            # skip the manifest round-trip.
+            self._cache.sketch_factors = factors
+            query_proj["sketch"] = kernel.sketch_queries(query_proj, factors)
+        catalog = self._catalog(approx=True)
+        if not store.is_quantized:
+            def prefilter(_emb_block, proj_block):
+                return kernel.prefilter_block(query_proj, proj_block)
+
+            return catalog, prefilter, catalog.rows
+
+        # Quantized store: only the prefilter operand's int8 pages are
+        # touched; one dequantize per block keeps the stream O(block).
+        operand = "sketch" if needs_sketch else "emb"
+        scales = store.scales(operand)
+
+        def prefilter(_emb_block, proj_block):
+            page = dequantize_int8(proj_block[operand], scales,
+                                   dtype=self._dtype)
+            return kernel.prefilter_block(query_proj, {operand: page})
+
+        cached_proj = self._cache.projections
+        embeddings = self._cache.embeddings
+
+        def rerank_rows(indices):
+            idx = np.asarray(indices, dtype=np.int64)
+            emb_rows = embeddings[idx]
+            if cached_proj is not None:
+                proj_rows = {name: rows[idx]
+                             for name, rows in cached_proj.items()}
+            else:
+                proj_rows = decoder.candidate_projections(emb_rows)
+            return emb_rows, proj_rows
+
+        return catalog, prefilter, rerank_rows
+
+    def _batched_rerank(self, kernel, query_proj, shortlist, top_ks,
+                        two_sided, rerank_rows):
+        """One-pass exact rerank of every query's shortlist, when possible.
+
+        Requires a decoder with a gather-rerank kernel (``score_rows``)
+        and uniform shortlist lengths (heterogeneous ``top_k``/``exclude``
+        batches fall back to the per-query loop — returns ``None``).  The
+        candidate rows of all shortlists are gathered with one fancy-index
+        call and scored as a ``(Q, K, width)`` batch; probabilities are
+        bitwise identical to the per-query path, so which path ran is
+        unobservable in the results.
+        """
+        if not hasattr(kernel, "score_rows"):
+            return None
+        lengths = {len(ci) for ci, _ in shortlist}
+        if len(lengths) != 1 or 0 in lengths:
+            return None
+        num_rows = lengths.pop()
+        num_queries = len(shortlist)
+        flat = np.concatenate([ci for ci, _ in shortlist])
+        _emb_rows, proj_rows = rerank_rows(flat)
+        rows3d = {name: value.reshape(num_queries, num_rows,
+                                      *value.shape[1:])
+                  for name, value in proj_rows.items()}
+        probs = stable_sigmoid(kernel.score_rows(query_proj, rows3d))
+        if two_sided:
+            probs = 0.5 * (probs + stable_sigmoid(
+                kernel.score_rows(query_proj, rows3d, reverse=True)))
+        results = []
+        for qi, (cand_indices, _approx_scores) in enumerate(shortlist):
+            select = np.lexsort((cand_indices,
+                                 -probs[qi]))[:max(top_ks[qi], 0)]
+            results.append((cand_indices[select], probs[qi][select]))
+        rescored = flat.size * (2 if two_sided else 1)
+        return results, rescored
+
+    def _approx_screen(self, catalog, kernel, query_proj, num_queries,
+                       top_ks, exclude, oversample, two_sided,
+                       prefilter, rerank_rows):
+        """Cheap-operand prefilter, then exact rerank of the survivors.
+
+        The shortlist pass streams ``prefilter`` scores (dot: one
+        inner-product GEMM per block; MLP: the low-rank sketch GEMM, a
+        forward-orientation surrogate even for symmetric screens) through
+        the same top-k engine as exact mode, keeping ``top_k * oversample``
+        survivors per query.  Returns ``(results, rescored)`` where
+        ``rescored`` counts the shortlist rows that went through the exact
+        kernel.
+        """
         shortlist = catalog.screen(
             prefilter, num_queries,
             [max(k * oversample, k) for k in top_ks], exclude=exclude)
+        batched = self._batched_rerank(kernel, query_proj, shortlist,
+                                       top_ks, two_sided, rerank_rows)
+        if batched is not None:
+            return batched
         results = []
         rescored = 0
         for qi, (cand_indices, _approx_scores) in enumerate(shortlist):
             if not len(cand_indices):
                 results.append((cand_indices, np.zeros(0)))
                 continue
-            emb_rows, proj_rows = catalog.rows(cand_indices)
-            rescored += len(cand_indices)
-            qi_proj = {name: rows[qi:qi + 1]
-                       for name, rows in query_proj.items()}
-            # Rerank with the exact kernel: probabilities of the survivors
-            # are bitwise what exact mode would report for them.
-            probs = exact_score_fn(kernel, qi_proj)(emb_rows, proj_rows)[0]
+            emb_rows, proj_rows = rerank_rows(cand_indices)
+            rescored += len(cand_indices) * (2 if two_sided else 1)
+            qi_proj = _slice_query(query_proj, qi)
+            # Rerank with the exact kernel (two-sided when the screen is):
+            # probabilities of the survivors are what exact mode would
+            # report for them.
+            probs = exact_score_fn(kernel, qi_proj, two_sided)(
+                emb_rows, proj_rows)[0]
             select = np.lexsort((cand_indices, -probs))[:max(top_ks[qi], 0)]
             results.append((cand_indices[select], probs[select]))
         return results, rescored
@@ -755,9 +969,10 @@ class DDIScreeningService:
 
         ``symmetric=True`` averages σ(γ(x, y)) and σ(γ(y, x)) — the MLP
         decoder is order-sensitive; the dot decoder is already symmetric.
-        ``approx=True`` (dot decoder only) ranks via an inner-product
-        prefilter over ``top_k * approx_oversample`` candidates before an
-        exact rerank — near-ties beyond the shortlist may be missed.
+        ``approx=True`` ranks via a cheap prefilter (inner products for the
+        dot decoder, a low-rank sketch for the MLP decoder) keeping
+        ``top_k * approx_oversample`` candidates for an exact rerank —
+        near-ties beyond the shortlist may be missed.
         ``parallel`` picks the execution plan: ``None`` (default) uses the
         process pool whenever a shard store is attached and
         ``num_workers > 1``; ``False`` forces in-process; ``True`` demands
@@ -891,6 +1106,7 @@ class DDIScreeningService:
                 len(node_lists)).numpy()
         finally:
             model.train(was_training)
+        query_embs = query_embs.astype(self._dtype, copy=False)
         empty = np.zeros(0, dtype=np.int64)
         return self._screen_embeddings(query_embs, top_k,
                                        [empty] * len(node_lists), symmetric,

@@ -30,7 +30,8 @@ from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
-from .topk import TopKAccumulator, merge_top_k
+from .topk import (TopKAccumulator, as_float_scores, batch_top_k_sets,
+                   merge_top_k)
 
 # score_block(embeddings_block, projections_block) -> (num_queries, block) scores
 ScoreBlockFn = Callable[[np.ndarray, dict[str, np.ndarray]], np.ndarray]
@@ -98,19 +99,92 @@ def screen_shard(shard: "CatalogShard", block_size: int,
     This is the unit of work a pool worker executes against a memory-mapped
     shard; the in-memory catalog runs the identical function over its array
     views, so both paths produce bitwise-equal per-shard results.
+
+    Contiguous shard layouts (ascending global indices — the default, and
+    every layout the service builds) take a batched path: one vectorised
+    top-k selection per block for the whole query batch instead of
+    ``num_queries`` python-level accumulator updates.  Both paths realise
+    the same (score desc, index asc) total order, so their results are
+    bitwise-identical; permuted layouts keep the per-query accumulators,
+    whose update step re-sorts each block by global index.
     """
-    accumulators = [TopKAccumulator(k) for k in padded]
+    if len(shard.indices) > 1 and not np.all(
+            shard.indices[1:] > shard.indices[:-1]):
+        accumulators = [TopKAccumulator(k) for k in padded]
+        for indices, emb_block, proj_block in iter_shard_blocks(shard,
+                                                                block_size):
+            scores = np.atleast_2d(as_float_scores(
+                score_block(emb_block, proj_block)))
+            if scores.shape != (num_queries, len(indices)):
+                raise ValueError(
+                    f"score_block returned shape {scores.shape}; "
+                    f"expected ({num_queries}, {len(indices)})")
+            for qi in range(num_queries):
+                accumulators[qi].update(scores[qi], indices)
+        return [acc.result() for acc in accumulators]
+    return _screen_shard_batched(shard, block_size, score_block,
+                                 num_queries, padded)
+
+
+def _screen_shard_batched(shard: "CatalogShard", block_size: int,
+                          score_block: ScoreBlockFn, num_queries: int,
+                          padded: Sequence[int]
+                          ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Vectorised ``screen_shard`` for ascending-index shards.
+
+    Streams a single ``(num_queries, running)`` candidate pool: each block
+    contributes its per-row top-``kmax`` columns (one ``argpartition`` for
+    the whole batch), the pool is re-sorted by global index so boundary
+    ties keep the total order, and re-selected.  Selecting ``kmax =
+    max(padded)`` rows for every query and truncating per query at the end
+    is exact — the top ``padded[qi]`` of the total order is a prefix of
+    the top ``kmax``.
+    """
+    kmax = max(padded, default=0)
+    run_idx = run_sc = None
     for indices, emb_block, proj_block in iter_shard_blocks(shard,
                                                             block_size):
-        scores = np.atleast_2d(np.asarray(
-            score_block(emb_block, proj_block), dtype=np.float64))
+        scores = np.atleast_2d(as_float_scores(
+            score_block(emb_block, proj_block)))
         if scores.shape != (num_queries, len(indices)):
             raise ValueError(
                 f"score_block returned shape {scores.shape}; "
                 f"expected ({num_queries}, {len(indices)})")
-        for qi in range(num_queries):
-            accumulators[qi].update(scores[qi], indices)
-    return [acc.result() for acc in accumulators]
+        if kmax <= 0:
+            continue
+        cols = batch_top_k_sets(scores, kmax)
+        blk_idx = indices[cols]
+        blk_sc = np.take_along_axis(scores, cols, axis=1)
+        if run_idx is None:
+            run_idx, run_sc = blk_idx, blk_sc
+            continue
+        pool_idx = np.concatenate([run_idx, blk_idx], axis=1)
+        pool_sc = np.concatenate([run_sc, blk_sc], axis=1)
+        if pool_idx.shape[1] > kmax:
+            # Arrange the pool index-ascending per row so positional ties
+            # in the re-selection coincide with the (score desc, index
+            # asc) total order, exactly like TopKAccumulator.update.
+            order = np.argsort(pool_idx, axis=1)
+            pool_idx = np.take_along_axis(pool_idx, order, axis=1)
+            pool_sc = np.take_along_axis(pool_sc, order, axis=1)
+            cols = batch_top_k_sets(pool_sc, kmax)
+            run_idx = np.take_along_axis(pool_idx, cols, axis=1)
+            run_sc = np.take_along_axis(pool_sc, cols, axis=1)
+        else:
+            run_idx, run_sc = pool_idx, pool_sc
+    empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64))
+    if run_idx is None:
+        return [empty] * num_queries
+    # Final ordering: index-ascending rows + a stable sort on descending
+    # score == the (score desc, index asc) order result() produces.
+    order = np.argsort(run_idx, axis=1)
+    run_idx = np.take_along_axis(run_idx, order, axis=1)
+    run_sc = np.take_along_axis(run_sc, order, axis=1)
+    order = np.argsort(-run_sc, axis=1, kind="stable")
+    run_idx = np.take_along_axis(run_idx, order, axis=1)
+    run_sc = np.take_along_axis(run_sc, order, axis=1)
+    return [(run_idx[qi, :k], run_sc[qi, :k]) if k > 0 else empty
+            for qi, k in enumerate(padded)]
 
 
 def finalize_screen(per_shard: list[list[tuple[np.ndarray, np.ndarray]]],

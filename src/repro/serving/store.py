@@ -41,11 +41,53 @@ from typing import Sequence
 import numpy as np
 
 from .cache import _fingerprint_from_json, _fingerprint_to_json
+from .precision import QUANTIZATION_SCHEMES, quantize_int8
 from .shards import CatalogShard, ShardedEmbeddingCatalog
 
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "repro.serving.shard-store/v1"
 _NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+
+
+def _validate_quantization(spec, embed_dim: int, projections: list[str],
+                           aliases: list[str]) -> dict | None:
+    """Coerce/validate the optional ``quantization`` manifest field.
+
+    Returns ``None`` (not quantized) or ``{"scheme", "scales"}`` with the
+    scale lists converted to float64 arrays.  Any structural problem —
+    unknown scheme, missing/mis-typed scales, wrong widths — raises
+    ``ValueError``, which best-effort openers treat as "no usable store".
+    """
+    if spec is None:
+        return None
+    if not isinstance(spec, dict):
+        raise ValueError("quantization must be a mapping")
+    scheme = spec.get("scheme")
+    if scheme not in QUANTIZATION_SCHEMES:
+        raise ValueError(f"unknown quantization scheme {scheme!r}; "
+                         f"expected one of {QUANTIZATION_SCHEMES}")
+    scales = spec.get("scales")
+    if not isinstance(scales, dict) or "embeddings" not in scales \
+            or not isinstance(scales.get("projections"), dict):
+        raise ValueError("quantization.scales must map 'embeddings' and "
+                         "'projections' to per-column scale lists")
+    out = {"embeddings": np.asarray(scales["embeddings"],
+                                    dtype=np.float64).reshape(-1)}
+    if len(out["embeddings"]) != embed_dim:
+        raise ValueError(
+            f"quantization has {len(out['embeddings'])} embedding scales "
+            f"for embed_dim {embed_dim}")
+    proj_scales = {}
+    for name in projections:
+        if name in scales["projections"]:
+            proj_scales[name] = np.asarray(scales["projections"][name],
+                                           dtype=np.float64).reshape(-1)
+    missing = set(projections) - set(proj_scales) - set(aliases)
+    if missing:
+        raise ValueError(f"quantization is missing scales for projections "
+                         f"{sorted(missing)}")
+    return {"scheme": scheme, "scales": {"embeddings": out["embeddings"],
+                                         "projections": proj_scales}}
 
 
 class ShardStore:
@@ -90,6 +132,9 @@ class ShardStore:
             fingerprint = manifest.get("fingerprint")
             self.fingerprint = (_fingerprint_from_json(fingerprint)
                                 if fingerprint is not None else None)
+            self._quantization = _validate_quantization(
+                manifest.get("quantization"), self._embed_dim,
+                list(manifest["projections"]), list(manifest["aliases"]))
         except (TypeError, ValueError, KeyError) as error:
             raise ValueError(
                 f"{path} has malformed manifest fields") from error
@@ -116,6 +161,39 @@ class ShardStore:
     @property
     def projection_names(self) -> list[str]:
         return list(self.manifest["projections"])
+
+    @property
+    def quantization(self) -> str | None:
+        """The quantization scheme the shard files use (None = exact)."""
+        return self._quantization["scheme"] if self._quantization else None
+
+    @property
+    def is_quantized(self) -> bool:
+        return self._quantization is not None
+
+    def scales(self, name: str | None = None) -> np.ndarray:
+        """Per-column dequantization scales for ``name`` (None = embeddings).
+
+        Alias projections (rows that *are* the embedding matrix) resolve
+        to the embedding scales.
+        """
+        if self._quantization is None:
+            raise ValueError("store is not quantized")
+        scales = self._quantization["scales"]
+        if name is None or name in self.manifest["aliases"]:
+            return scales["embeddings"]
+        return scales["projections"][name]
+
+    def sketch_factors(self) -> dict[str, np.ndarray] | None:
+        """The prefilter sketch factors saved with the store, if any."""
+        spec = self.manifest.get("sketch_factors")
+        if not spec:
+            return None
+        factors = {"mean": np.load(self.root / spec["mean"]),
+                   "components": np.load(self.root / spec["components"])}
+        if spec.get("std"):
+            factors["std"] = np.load(self.root / spec["std"])
+        return factors
 
     def nbytes(self) -> int:
         """Total bytes of the shard files (embeddings + projections)."""
@@ -170,7 +248,9 @@ class ShardStore:
              projections: dict[str, np.ndarray] | None = None,
              num_shards: int = 1, block_size: int = 1024,
              fingerprint: tuple | None = None,
-             catalog_digest: str | None = None) -> Path:
+             catalog_digest: str | None = None,
+             quantize: str | None = None,
+             sketch_factors: dict[str, np.ndarray] | None = None) -> Path:
         """Write a shard store under directory ``path``; returns the manifest.
 
         Rows are split into the same contiguous ranges the in-memory
@@ -178,7 +258,19 @@ class ShardStore:
         reopened store screens shard-for-shard identically.  Projections
         whose matrix *is* the embedding matrix (the dot decoder's identity
         precompute) are recorded as aliases, not written twice.
+
+        ``quantize="int8"`` stores every matrix as symmetric per-column-
+        scaled int8 codes (scales ride the manifest), shrinking the store
+        ~8x; a quantized store serves the *approximate* screening tier
+        only — the prefilter streams int8 pages, the shortlist reranks
+        against exact in-memory rows.  ``sketch_factors`` (the MLP
+        prefilter's ``{"mean", "components"}``) are written alongside so a
+        cold open can sketch queries without the original cache.
         """
+        if quantize is not None and quantize not in QUANTIZATION_SCHEMES:
+            raise ValueError(f"quantize must be one of "
+                             f"{QUANTIZATION_SCHEMES} or None, "
+                             f"got {quantize!r}")
         embeddings = np.asarray(embeddings)
         if embeddings.ndim != 2 or not len(embeddings):
             raise ValueError("embeddings must be a non-empty "
@@ -201,6 +293,20 @@ class ShardStore:
 
         root = Path(path)
         root.mkdir(parents=True, exist_ok=True)
+        quantization = None
+        stored_emb, stored_proj = embeddings, projections
+        if quantize == "int8":
+            stored_emb, emb_scales = quantize_int8(embeddings)
+            stored_proj, proj_scales = {}, {}
+            for name, matrix in projections.items():
+                if name in aliases:
+                    stored_proj[name] = stored_emb
+                    continue
+                stored_proj[name], scales = quantize_int8(matrix)
+                proj_scales[name] = scales.tolist()
+            quantization = {"scheme": "int8",
+                            "scales": {"embeddings": emb_scales.tolist(),
+                                       "projections": proj_scales}}
         chunks = [c for c in np.array_split(
             np.arange(len(embeddings), dtype=np.int64), num_shards)
             if len(c)]
@@ -208,17 +314,27 @@ class ShardStore:
         for i, chunk in enumerate(chunks):
             lo, hi = int(chunk[0]), int(chunk[-1]) + 1
             emb_file = f"shard_{i:05d}.emb.npy"
-            np.save(root / emb_file, embeddings[lo:hi])
+            np.save(root / emb_file, stored_emb[lo:hi])
             proj_files = {}
-            for name, matrix in projections.items():
+            for name in projections:
                 if name in aliases:
                     continue
                 proj_file = f"shard_{i:05d}.proj.{name}.npy"
-                np.save(root / proj_file, matrix[lo:hi])
+                np.save(root / proj_file, stored_proj[name][lo:hi])
                 proj_files[name] = proj_file
             shard_specs.append({"start": lo, "stop": hi,
                                 "embeddings": emb_file,
                                 "projections": proj_files})
+        sketch_spec = None
+        if sketch_factors is not None:
+            sketch_spec = {"mean": "sketch.mean.npy",
+                           "components": "sketch.components.npy"}
+            np.save(root / sketch_spec["mean"], sketch_factors["mean"])
+            np.save(root / sketch_spec["components"],
+                    sketch_factors["components"])
+            if sketch_factors.get("std") is not None:
+                sketch_spec["std"] = "sketch.std.npy"
+                np.save(root / sketch_spec["std"], sketch_factors["std"])
         manifest = {
             "format": STORE_FORMAT,
             "fingerprint": (_fingerprint_to_json(fingerprint)
@@ -231,6 +347,8 @@ class ShardStore:
             "projections": sorted(projections),
             "aliases": aliases,
             "shards": shard_specs,
+            "quantization": quantization,
+            "sketch_factors": sketch_spec,
         }
         manifest_path = root / MANIFEST_NAME
         # Write-then-rename so a crashed save never leaves a manifest that

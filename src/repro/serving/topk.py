@@ -29,6 +29,19 @@ from __future__ import annotations
 import numpy as np
 
 
+def as_float_scores(scores) -> np.ndarray:
+    """Coerce to a floating array without widening: float32 stays float32.
+
+    Non-floating inputs (integer score blocks from tests or quantized
+    paths) are promoted to float64; floating inputs keep their dtype so
+    the low-precision serving tier never silently pays float64 bandwidth.
+    """
+    scores = np.asarray(scores)
+    if not np.issubdtype(scores.dtype, np.floating):
+        scores = scores.astype(np.float64)
+    return scores
+
+
 def top_k_set(scores: np.ndarray, k: int) -> np.ndarray:
     """The (unordered) index set of the ``k`` largest scores, exact on ties.
 
@@ -53,6 +66,38 @@ def top_k_set(scores: np.ndarray, k: int) -> np.ndarray:
     sure = np.flatnonzero(scores > pivot)
     tied = np.flatnonzero(scores == pivot)[:k - sure.size]
     return np.concatenate([sure, tied]).astype(np.int64, copy=False)
+
+
+def batch_top_k_sets(scores: np.ndarray, k: int) -> np.ndarray:
+    """Per-row top-``k`` column sets of a ``(Q, n)`` score matrix.
+
+    The batched form of :func:`top_k_set`: one ``argpartition`` call for
+    the whole query batch instead of ``Q`` python-level calls.  Boundary
+    ties are broken by ascending *column*, so membership matches
+    ``top_k_set`` row-by-row exactly when columns are ordered by ascending
+    global index.  Returns a ``(Q, min(k, n))`` array of column indices in
+    ascending order per row.
+    """
+    scores = np.asarray(scores)
+    num_queries, n = scores.shape
+    if k <= 0 or n == 0:
+        return np.zeros((num_queries, 0), dtype=np.int64)
+    if k >= n:
+        return np.broadcast_to(np.arange(n, dtype=np.int64),
+                               (num_queries, n))
+    part = np.argpartition(scores, n - k, axis=1)[:, n - k:]
+    pivots = np.take_along_axis(scores, part, axis=1).min(axis=1)
+    above = scores > pivots[:, None]
+    at_pivot = scores == pivots[:, None]
+    # Entries strictly above the per-row pivot always make the cut; the
+    # remaining slots go to pivot-valued entries left-to-right (ascending
+    # column), exactly top_k_set's tie rule.  Each row keeps exactly k
+    # columns, so the flat nonzero unravels to a dense (Q, k) grid.
+    need = k - above.sum(axis=1)
+    keep = above | (at_pivot & (np.cumsum(at_pivot, axis=1)
+                                <= need[:, None]))
+    return np.nonzero(keep)[1].reshape(num_queries, k).astype(
+        np.int64, copy=False)
 
 
 def top_k_desc(scores: np.ndarray, k: int) -> np.ndarray:
@@ -88,8 +133,13 @@ class TopKAccumulator:
         """Fold one block of ``(scores, global indices)`` into the running top-k."""
         if self.k <= 0 or len(scores) == 0:
             return
-        scores = np.asarray(scores, dtype=np.float64)
+        scores = as_float_scores(scores)
         indices = np.asarray(indices, dtype=np.int64)
+        if self.scores.size == 0 and self.scores.dtype != scores.dtype:
+            # Adopt the stream's dtype so float32 blocks stay float32
+            # end-to-end (concatenating with an empty float64 array would
+            # otherwise promote every block).
+            self.scores = self.scores.astype(scores.dtype)
         # top_k_set breaks boundary ties by *position*; when the block's
         # global indices are not ascending (permuted shard layouts), order
         # the block by index first so positional ties coincide with the
@@ -131,7 +181,8 @@ def merge_top_k(results: list[tuple[np.ndarray, np.ndarray]],
         return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
     indices = np.concatenate([np.asarray(i, dtype=np.int64)
                               for i, _ in results])
-    scores = np.concatenate([np.asarray(s, dtype=np.float64)
-                             for _, s in results])
+    # Preserve the per-shard score dtype (mixed dtypes promote to the
+    # widest, which is the only defensible merge semantics anyway).
+    scores = np.concatenate([as_float_scores(s) for _, s in results])
     keep = np.lexsort((indices, -scores))[:max(k, 0)]
     return indices[keep], scores[keep]

@@ -113,6 +113,59 @@ class TestTopK:
         np.testing.assert_array_equal(merged_idx, expected)
         np.testing.assert_array_equal(merged_sc, scores[expected])
 
+    def test_batch_top_k_sets_matches_scalar_sets(self):
+        from repro.serving.topk import batch_top_k_sets, top_k_set
+        rng = np.random.default_rng(3)
+        for _ in range(50):
+            num_queries = int(rng.integers(1, 8))
+            n = int(rng.integers(1, 120))
+            k = int(rng.integers(0, n + 2))
+            # Heavy quantization forces many exact ties.
+            scores = np.round(rng.random((num_queries, n)), 1)
+            cols = batch_top_k_sets(scores, k)
+            for qi in range(num_queries):
+                np.testing.assert_array_equal(
+                    cols[qi], np.sort(top_k_set(scores[qi], k)))
+
+    def test_batched_screen_shard_matches_accumulators(self):
+        """The vectorised per-shard screen is bitwise the accumulator path
+        for every blocking, tie pattern, and per-query budget mix."""
+        from repro.serving.shards import (ShardedEmbeddingCatalog,
+                                          _screen_shard_batched)
+        rng = np.random.default_rng(4)
+        for _ in range(60):
+            n = int(rng.integers(1, 100))
+            num_queries = int(rng.integers(1, 6))
+            block = int(rng.integers(1, 40))
+            dtype = rng.choice([np.float32, np.float64])
+            scores = rng.integers(0, 4, size=(num_queries, n)).astype(dtype)
+            emb = rng.standard_normal((n, 3))
+            catalog = ShardedEmbeddingCatalog(emb, {"emb": emb},
+                                              num_shards=1,
+                                              block_size=block)
+            offset = [0]
+
+            def score_block(emb_block, _proj_block):
+                start = offset[0]
+                offset[0] += len(emb_block)
+                return scores[:, start:offset[0]]
+
+            padded = [int(rng.integers(0, 13)) for _ in range(num_queries)]
+            got = _screen_shard_batched(catalog._shards[0], block,
+                                        score_block, num_queries, padded)
+            accs = [TopKAccumulator(k) for k in padded]
+            for start in range(0, n, block):
+                stop = min(start + block, n)
+                for qi in range(num_queries):
+                    accs[qi].update(scores[qi, start:stop],
+                                    np.arange(start, stop))
+            for qi in range(num_queries):
+                want_idx, want_sc = accs[qi].result()
+                got_idx, got_sc = got[qi]
+                np.testing.assert_array_equal(got_idx, want_idx)
+                np.testing.assert_array_equal(got_sc, want_sc)
+                assert got_sc.dtype == want_sc.dtype
+
 
 # ---------------------------------------------------------------------------
 # sharded catalog
@@ -392,17 +445,34 @@ class TestApproximateMode:
         for a, e in zip(approx, exact):
             assert a.probability == e.probability  # exact rerank
 
-    def test_mlp_approx_rejected(self, setup):
+    def test_mlp_approx_with_full_oversample_matches_exact(self, setup):
         _, config, *_ = setup
         if config.decoder != "mlp":
-            pytest.skip("rejection test targets the MLP decoder")
-        with pytest.raises(ValueError, match="prefilter"):
-            _service(setup).screen(0, top_k=3, approx=True)
+            pytest.skip("sketch prefilter test targets the MLP decoder")
+        service = _service(setup, block_size=9, num_shards=2)
+        exact = service.screen(3, top_k=5)
+        # Full oversampling shortlists the entire catalog, so the sketch
+        # surrogate cannot drop anyone and the exact rerank must reproduce
+        # exact mode bitwise.
+        approx = service.screen(3, top_k=5, approx=True,
+                                approx_oversample=service.num_drugs)
+        assert [(h.index, h.probability) for h in approx] == \
+            [(h.index, h.probability) for h in exact]
+
+    def test_mlp_approx_symmetric_reranks_two_sided(self, setup):
+        _, config, *_ = setup
+        if config.decoder != "mlp":
+            pytest.skip("sketch prefilter test targets the MLP decoder")
+        service = _service(setup)
+        exact = service.screen(5, top_k=4, symmetric=True)
+        approx = service.screen(5, top_k=4, symmetric=True, approx=True,
+                                approx_oversample=service.num_drugs)
+        # Shortlisting is forward-orientation only, but the rerank averages
+        # both orientations like exact mode does.
+        assert [(h.index, h.probability) for h in approx] == \
+            [(h.index, h.probability) for h in exact]
 
     def test_bad_oversample_rejected(self, setup):
-        _, config, *_ = setup
-        if config.decoder != "dot":
-            pytest.skip("needs a decoder that supports approx mode")
         with pytest.raises(ValueError, match="approx_oversample"):
             _service(setup).screen(0, top_k=3, approx=True,
                                    approx_oversample=0)
