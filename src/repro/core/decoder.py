@@ -514,6 +514,33 @@ def make_screen_kernel(decoder: Module) -> _PicklableKernel:
     raise TypeError(f"no screening kernel for {type(decoder).__name__}")
 
 
+# Wire-level kernel registry: the remote screening transport ships a *kind
+# string*, never a pickled object — a worker reconstructs the weight-free
+# kernel from the name, so no code object crosses a host boundary.
+KERNEL_KINDS: dict[str, type[_PicklableKernel]] = {
+    "mlp": MLPScreenKernel,
+    "dot": DotScreenKernel,
+}
+
+
+def kernel_kind(kernel: _PicklableKernel) -> str:
+    """The registry name of a screening kernel instance."""
+    for name, cls in KERNEL_KINDS.items():
+        if type(kernel) is cls:
+            return name
+    raise TypeError(f"{type(kernel).__name__} is not a registered "
+                    f"screening kernel")
+
+
+def make_kernel(kind: str) -> _PicklableKernel:
+    """Instantiate a screening kernel from its registry name."""
+    try:
+        return KERNEL_KINDS[kind]()
+    except KeyError:
+        raise ValueError(f"unknown screening kernel kind {kind!r}; "
+                         f"expected one of {sorted(KERNEL_KINDS)}") from None
+
+
 def make_decoder(kind: str, embed_dim: int, hidden_dim: int,
                  rng: np.random.Generator) -> Module:
     """Factory for the two decoder types compared throughout Sec. IV."""

@@ -21,10 +21,16 @@ from .model import HyGNN
 _FORMAT_VERSION = 1
 
 
-def save_model(path: str | Path, model: HyGNN,
+def save_model(path, model: HyGNN,
                builder: DrugHypergraphBuilder) -> None:
-    """Serialise ``model`` + ``builder`` vocabulary to ``path`` (.npz)."""
-    path = Path(path)
+    """Serialise ``model`` + ``builder`` vocabulary to ``path`` (.npz).
+
+    ``path`` may also be an open binary file object (``np.savez``
+    supports both), which lets callers embed the archive inside another
+    container — the serving context bundle does.
+    """
+    if isinstance(path, (str, Path)):
+        path = Path(path)
     vocab = builder.vocabulary
     tokens = list(vocab)
     indices = np.array([vocab[t] for t in tokens], dtype=np.int64)
@@ -47,9 +53,13 @@ def save_model(path: str | Path, model: HyGNN,
         **arrays)
 
 
-def load_model(path: str | Path) -> tuple[HyGNN, DrugHypergraphBuilder]:
-    """Restore a (model, builder) pair saved by :func:`save_model`."""
-    path = Path(path)
+def load_model(path) -> tuple[HyGNN, DrugHypergraphBuilder]:
+    """Restore a (model, builder) pair saved by :func:`save_model`.
+
+    ``path`` may be a filesystem path or an open binary file object.
+    """
+    if isinstance(path, (str, Path)):
+        path = Path(path)
     with np.load(path, allow_pickle=True) as archive:
         meta = json.loads(bytes(archive["__meta__"]).decode("utf-8"))
         if meta["format_version"] != _FORMAT_VERSION:

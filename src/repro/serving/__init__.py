@@ -17,19 +17,36 @@ asyncio front door: it coalesces concurrent requests into dynamic
 micro-batches (one engine pass per flush) with admission control,
 per-request deadlines, graceful drain, and p50/p99/QPS stats — coalesced
 screens stay bitwise-identical to serial calls.
+
+The multi-host tier takes the same engine across machines:
+:class:`ShardWorker` serves a shard store's per-shard top-k over a
+stdlib TCP transport, :class:`RemoteShardExecutor` fans screens out to
+workers with retries, replica failover, per-worker circuit breakers, and
+a local memory-mapped fallback — merged results stay bitwise-identical
+to the serial engine under any fault schedule
+(:class:`~repro.serving.faults.FaultPolicy` drives them
+deterministically in tests) — and
+:meth:`DDIScreeningService.from_store` cold-boots a full service from a
+CRC-verified store plus a serving-context bundle without re-encoding
+the corpus.
 """
 
 from .cache import (FINGERPRINT_MODES, EmbeddingCache, LatencyWindow,
                     ServiceStats, weights_fingerprint)
 from .executor import ParallelShardExecutor, exact_score_fn
+from .faults import (FAULT_ACTIONS, FaultInjected, FaultPolicy, FaultRule,
+                     corrupt_payload)
 from .gateway import (DeadlineExceeded, GatewayClosed, GatewayOverloaded,
                       ScreeningGateway)
 from .precision import (QUANTIZATION_SCHEMES, SERVING_PRECISIONS,
                         dequantize_int8, max_abs_error, quantize_int8,
                         rank_agreement, recall_at_k, resolve_precision)
+from .remote import (CircuitBreaker, FrameError, RemoteShardError,
+                     RemoteShardExecutor, ShardWorker, recv_message,
+                     send_message)
 from .service import DDIScreeningService, ScreenHit
 from .shards import CatalogShard, ShardedEmbeddingCatalog
-from .store import MappedShardCatalog, ShardStore
+from .store import MappedShardCatalog, ShardIntegrityError, ShardStore
 from .topk import TopKAccumulator, merge_top_k, top_k_desc
 
 __all__ = [
@@ -39,8 +56,12 @@ __all__ = [
     "EmbeddingCache", "ServiceStats", "LatencyWindow",
     "weights_fingerprint", "FINGERPRINT_MODES",
     "ShardedEmbeddingCatalog", "CatalogShard",
-    "ShardStore", "MappedShardCatalog",
+    "ShardStore", "MappedShardCatalog", "ShardIntegrityError",
     "ParallelShardExecutor", "exact_score_fn",
+    "ShardWorker", "RemoteShardExecutor", "CircuitBreaker",
+    "RemoteShardError", "FrameError", "send_message", "recv_message",
+    "FaultPolicy", "FaultRule", "FaultInjected", "FAULT_ACTIONS",
+    "corrupt_payload",
     "TopKAccumulator", "merge_top_k", "top_k_desc",
     "SERVING_PRECISIONS", "QUANTIZATION_SCHEMES", "resolve_precision",
     "quantize_int8", "dequantize_int8",

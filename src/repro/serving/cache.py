@@ -186,9 +186,11 @@ class ServiceStats:
     prefilter_pairs: int = 0       # approximate-mode prefilter comparisons
     screens: int = 0
     parallel_screens: int = 0      # queries answered by the process pool
+    remote_screens: int = 0        # queries answered by remote shard workers
     gateway_requests: int = 0      # requests admitted to the gateway queue
     gateway_rejections: int = 0    # admission-control fast-fails (queue full)
-    gateway_expirations: int = 0   # deadlines missed before scoring
+    gateway_expirations: int = 0   # deadlines missed before/during scoring
+    gateway_failures: int = 0      # admitted requests failed by an exception
     gateway_batches: int = 0       # coalesced service calls (flushes)
     gateway_batch_sizes: dict = field(default_factory=dict)
     gateway_latency: LatencyWindow = field(default_factory=LatencyWindow)
@@ -261,6 +263,23 @@ class EmbeddingCache:
         self.sketch_factors = None
         self.version = next(_VERSION_COUNTER)
         self.stats.corpus_encodes += 1
+
+    def adopt(self, fingerprint: tuple, context: EncoderContext,
+              embeddings: np.ndarray,
+              projections: dict[str, np.ndarray] | None = None) -> None:
+        """Install content that was *not* produced by an encode pass.
+
+        Identical to :meth:`install` except ``corpus_encodes`` stays
+        untouched — the cold-boot path (``DDIScreeningService.from_store``)
+        adopts embeddings gathered from persisted shards, and its whole
+        point is that no corpus encode ever ran.
+        """
+        self.fingerprint = fingerprint
+        self.context = context
+        self.embeddings = embeddings
+        self.projections = projections
+        self.sketch_factors = None
+        self.version = next(_VERSION_COUNTER)
 
     def append_rows(self, rows: np.ndarray,
                     projections: dict[str, np.ndarray] | None = None) -> None:

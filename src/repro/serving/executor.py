@@ -25,12 +25,25 @@ The pool prefers the ``fork`` start method when the platform offers it
 (workers inherit the imported interpreter; startup is milliseconds) and
 falls back to the default (``spawn``) elsewhere — everything shipped to
 workers is module-level and picklable either way.
+
+Worker death is survived, not propagated: the pool is a
+``concurrent.futures.ProcessPoolExecutor``, which raises
+:class:`~concurrent.futures.process.BrokenProcessPool` when a worker is
+killed mid-task (OOM killer, SIGKILL, segfault) instead of hanging.  On
+breakage the executor discards the pool, rebuilds it once, and re-runs
+the whole screen; if the rebuilt pool breaks too it degrades to serial
+execution over the parent's memory-mapped store — same
+:func:`~repro.serving.shards.screen_shard`, same bytes, so the degraded
+answer is still bitwise-identical, just slower.  :attr:`stats` counts
+rebuilds and serial fallbacks so operators can see the degradation.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -105,23 +118,34 @@ class ParallelShardExecutor:
         self.num_workers = num_workers
         self._mmap_mode = mmap_mode
         self._start_method = start_method
-        self._pool = None
+        self._pool: ProcessPoolExecutor | None = None
+        self.stats = {"pool_rebuilds": 0, "serial_fallbacks": 0}
 
     @property
     def store(self) -> ShardStore:
         return self._store
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
             methods = mp.get_all_start_methods()
             method = self._start_method or (
                 "fork" if "fork" in methods else None)
             ctx = mp.get_context(method)
-            self._pool = ctx.Pool(
-                processes=min(self.num_workers, self._store.num_shards),
+            self._pool = ProcessPoolExecutor(
+                max_workers=min(self.num_workers, self._store.num_shards),
+                mp_context=ctx,
                 initializer=_init_worker,
                 initargs=(str(self._store.path), self._mmap_mode))
         return self._pool
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool without waiting on its corpses."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                pass
 
     def screen(self, kernel, query_proj: dict, num_queries: int,
                top_k: int | Sequence[int],
@@ -144,14 +168,41 @@ class ParallelShardExecutor:
         tasks = [(shard_id, block_size, kernel, query_proj, two_sided,
                   num_queries, padded)
                  for shard_id in range(self._store.num_shards)]
-        per_shard = self._ensure_pool().map(_screen_shard_task, tasks)
+        per_shard = self._run_tasks(tasks)
         return finalize_screen(per_shard, padded, excludes, top_ks)
+
+    def _run_tasks(self, tasks: list[tuple]
+                   ) -> list[list[tuple[np.ndarray, np.ndarray]]]:
+        """Pool map with survival: rebuild once on a broken pool, then
+        degrade to serial execution over the parent's mapped store.
+
+        ``ProcessPoolExecutor.map`` preserves task order, and every
+        recovery path screens the same shard bytes with the same
+        ``screen_shard`` — results are bitwise-identical whichever plan
+        answered.
+        """
+        for round_index in range(2):
+            try:
+                return list(self._ensure_pool().map(
+                    _screen_shard_task, tasks))
+            except BrokenProcessPool:
+                self._discard_pool()
+                if round_index == 0:
+                    self.stats["pool_rebuilds"] += 1
+        self.stats["serial_fallbacks"] += 1
+        per_shard = []
+        for (shard_id, block_size, kernel, query_proj, two_sided,
+             num_queries, padded) in tasks:
+            score = exact_score_fn(kernel, query_proj, two_sided)
+            per_shard.append(screen_shard(
+                self._store.open_shard(shard_id), block_size, score,
+                num_queries, padded))
+        return per_shard
 
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
         if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
+            self._pool.shutdown(wait=True)
             self._pool = None
 
     def __enter__(self) -> "ParallelShardExecutor":
@@ -162,11 +213,11 @@ class ParallelShardExecutor:
         return False
 
     def __del__(self):
-        # Best-effort cleanup if close() was never called; terminate (not
-        # join) because __del__ may run at interpreter shutdown.
+        # Best-effort cleanup if close() was never called; don't wait
+        # because __del__ may run at interpreter shutdown.
         pool = getattr(self, "_pool", None)
         if pool is not None:
             try:
-                pool.terminate()
+                pool.shutdown(wait=False, cancel_futures=True)
             except Exception:
                 pass

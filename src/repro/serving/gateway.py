@@ -35,8 +35,11 @@ Operational controls:
 - **Per-request deadlines**: ``timeout_ms`` (or the gateway-wide
   ``default_timeout_ms``) is an end-to-end budget; a request whose
   deadline passes before its batch is scored fails with
-  :class:`DeadlineExceeded` and is dropped from the flush
-  (``stats.gateway_expirations``).
+  :class:`DeadlineExceeded` and is dropped from the flush, and one whose
+  deadline elapses *during* scoring (a retrying remote screen, a
+  degraded executor) fails the same way instead of returning late
+  (``stats.gateway_expirations`` counts both).  Requests failed by a
+  scoring exception are counted in ``stats.gateway_failures``.
 - **Graceful drain**: :meth:`close` stops admitting new requests, flushes
   everything already queued, and only then stops the batcher; every
   accepted request gets its answer.  :meth:`drain` is the non-terminal
@@ -361,6 +364,23 @@ class ScreeningGateway:
         for key, group in groups.items():
             self._flush_group(loop, key, group)
 
+    def _expire_if_late(self, request: _Request, now: float) -> bool:
+        """Fail ``request`` with :class:`DeadlineExceeded` if it is overdue.
+
+        Used both before and *after* scoring: a deadline is an end-to-end
+        budget, so time burned inside a slow flush (a retrying remote
+        screen, a degraded executor) counts against it too — the caller
+        must never receive a result after the budget it asked for.
+        """
+        if request.future.done():
+            return True
+        if request.deadline is not None and now > request.deadline:
+            self._service.stats.gateway_expirations += 1
+            request.future.set_exception(DeadlineExceeded(
+                "request deadline elapsed during scoring"))
+            return True
+        return False
+
     def _flush_group(self, loop, key: tuple,
                      group: list[_Request]) -> None:
         stats = self._service.stats
@@ -375,17 +395,21 @@ class ScreeningGateway:
             results = None
         if results is None:
             for request in group:
+                if self._expire_if_late(request, loop.time()):
+                    continue
                 try:
                     value = self._score_group(key, [request])[0]
                 except Exception as exc:  # noqa: BLE001 — forwarded
                     if not request.future.done():
+                        stats.gateway_failures += 1
                         request.future.set_exception(exc)
                 else:
-                    if not request.future.done():
+                    if not self._expire_if_late(request, loop.time()):
                         request.future.set_result(value)
         else:
+            now = loop.time()
             for request, value in zip(group, results):
-                if not request.future.done():
+                if not self._expire_if_late(request, now):
                     request.future.set_result(value)
         done = loop.time()
         for request in group:

@@ -1,0 +1,831 @@
+"""Multi-host shard screening: TCP shard workers + a fault-tolerant client.
+
+PR 4 made per-shard top-k travel by *manifest path* with a deterministic
+cross-shard merge — but every execution plan still lived in one process
+tree on one host.  This module adds the missing transport for "catalog
+bigger than one machine", shaped like DGL's distributed serving stack
+(dumb shard-holding workers, a smart client):
+
+- :class:`ShardWorker` — a stdlib-only ``socketserver`` TCP server that
+  opens shards from a :class:`~repro.serving.store.ShardStore` manifest
+  and answers per-shard ``screen`` requests plus ``health``/``manifest``
+  probes.  Workers hold no model weights: requests carry the weight-free
+  kernel *kind* and the precomputed query projections, and every worker
+  runs the same :func:`~repro.serving.shards.screen_shard` the serial
+  engine runs, so per-shard results are bitwise-equal by construction.
+- :class:`RemoteShardExecutor` — the client-side mirror of
+  :class:`~repro.serving.executor.ParallelShardExecutor`: per-shard
+  fan-out over worker connections with per-request timeouts, bounded
+  exponential backoff with deterministic jitter, automatic failover of a
+  failed shard request to the next replica, a per-worker circuit breaker
+  (consecutive-failure trip, half-open probe recovery), and — when every
+  replica is down — local memory-mapped execution of that shard.  The
+  merged results are **bitwise-identical** to the serial in-memory engine
+  under any fault schedule, because every path (every worker, and the
+  local fallback) scores the same shard bytes with the same kernel and
+  the reduce is the engine's deterministic
+  :func:`~repro.serving.shards.finalize_screen`.
+
+Wire format (no third-party deps): each frame is a 4-byte big-endian
+header length, a JSON header, and the raw C-order bytes of each array the
+header declares (name, dtype, shape) — with a CRC32 of the binary section
+in the header, so a torn or corrupted frame is *detected* and retried
+instead of silently mis-merged.  Nested projection dicts flatten to
+``"as_left/g_max"``-style keys.
+
+Launch a worker standalone with::
+
+    PYTHONPATH=src python -m repro.serving.remote /path/to/manifest.json \
+        --host 0.0.0.0 --port 7461
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import socketserver
+import struct
+import threading
+import time
+import zlib
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..core.decoder import kernel_kind, make_kernel
+from .executor import exact_score_fn
+from .faults import FaultInjected, FaultPolicy, corrupt_payload
+from .shards import (finalize_screen, normalize_exclude, normalize_top_k,
+                     screen_shard, validate_shard_results)
+from .store import ShardStore
+
+_HEADER_STRUCT = struct.Struct("!I")
+_MAX_HEADER_BYTES = 64 * 1024 * 1024
+PROTOCOL = "repro.serving.remote/v1"
+
+
+class FrameError(ConnectionError):
+    """A wire frame failed structural or CRC validation."""
+
+
+class RemoteShardError(RuntimeError):
+    """A worker answered with an error, or every replica was exhausted."""
+
+
+# ---------------------------------------------------------------------------
+# Framing
+# ---------------------------------------------------------------------------
+def _flatten_arrays(tree: dict, prefix: str = "") -> dict[str, np.ndarray]:
+    """Nested array dicts -> flat ``{"as_left/g_max": array}`` mapping."""
+    flat: dict[str, np.ndarray] = {}
+    for name, value in tree.items():
+        key = f"{prefix}{name}"
+        if isinstance(value, dict):
+            flat.update(_flatten_arrays(value, prefix=f"{key}/"))
+        else:
+            flat[key] = np.asarray(value)
+    return flat
+
+
+def _unflatten_arrays(flat: dict[str, np.ndarray]) -> dict:
+    """Inverse of :func:`_flatten_arrays`."""
+    tree: dict = {}
+    for key, value in flat.items():
+        node = tree
+        parts = key.split("/")
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    return tree
+
+
+def send_message(stream, header: dict,
+                 arrays: dict[str, np.ndarray] | None = None,
+                 _corrupt: bool = False) -> None:
+    """Write one length-prefixed JSON + binary-arrays frame to ``stream``.
+
+    ``_corrupt`` is the fault-injection hook: it flips payload bytes
+    *after* the CRC is computed, producing exactly the torn frame a
+    receiver must detect.  ``stream`` may be a socket or any object with
+    ``sendall``.
+    """
+    arrays = arrays or {}
+    specs = []
+    chunks = []
+    for name in sorted(arrays):
+        array = np.asarray(arrays[name])
+        specs.append([name, array.dtype.str, list(array.shape)])
+        chunks.append(array.tobytes())
+    payload = b"".join(chunks)
+    frame_header = dict(header)
+    frame_header["protocol"] = PROTOCOL
+    frame_header["arrays"] = specs
+    frame_header["crc32"] = zlib.crc32(payload) & 0xFFFFFFFF
+    encoded = json.dumps(frame_header).encode("utf-8")
+    if _corrupt:
+        payload = corrupt_payload(payload)
+    stream.sendall(_HEADER_STRUCT.pack(len(encoded)) + encoded + payload)
+
+
+def _recv_exact(stream, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise ``EOFError`` on a closed peer."""
+    parts = []
+    remaining = count
+    while remaining:
+        chunk = stream.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise EOFError("connection closed mid-frame"
+                           if parts or remaining != count else
+                           "connection closed")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_message(stream) -> tuple[dict, dict[str, np.ndarray]]:
+    """Read one frame; returns ``(header, arrays)``.
+
+    Raises :class:`FrameError` when the frame is structurally invalid or
+    its payload CRC does not match — the caller treats either exactly
+    like a dropped connection (retry / failover), never as data.
+    """
+    (header_len,) = _HEADER_STRUCT.unpack(
+        _recv_exact(stream, _HEADER_STRUCT.size))
+    if not 0 < header_len <= _MAX_HEADER_BYTES:
+        raise FrameError(f"implausible header length {header_len}")
+    try:
+        header = json.loads(_recv_exact(stream, header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise FrameError("frame header is not valid JSON") from error
+    if not isinstance(header, dict) or header.get("protocol") != PROTOCOL:
+        raise FrameError(f"unexpected protocol "
+                         f"{header.get('protocol') if isinstance(header, dict) else header!r}")
+    try:
+        specs = [(str(name), np.dtype(dtype), tuple(int(d) for d in shape))
+                 for name, dtype, shape in header.get("arrays", [])]
+        sizes = [dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+                 for _, dtype, shape in specs]
+    except (TypeError, ValueError) as error:
+        raise FrameError("malformed array specs") from error
+    payload = _recv_exact(stream, sum(sizes))
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != header.get("crc32"):
+        raise FrameError("payload CRC32 mismatch — frame corrupt in flight")
+    arrays: dict[str, np.ndarray] = {}
+    offset = 0
+    for (name, dtype, shape), size in zip(specs, sizes):
+        arrays[name] = np.frombuffer(
+            payload, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)),
+            offset=offset).reshape(shape)
+        offset += size
+    return header, arrays
+
+
+# ---------------------------------------------------------------------------
+# Worker
+# ---------------------------------------------------------------------------
+class _WorkerServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class _WorkerHandler(socketserver.StreamRequestHandler):
+    """One client connection: frames are handled sequentially until EOF."""
+
+    def handle(self) -> None:
+        worker: ShardWorker = self.server.shard_worker  # type: ignore[attr-defined]
+        while True:
+            try:
+                header, arrays = recv_message(self.connection)
+            except (EOFError, FrameError, OSError):
+                return
+            try:
+                keep_open = worker.dispatch(self.connection, header, arrays)
+            except OSError:
+                return
+            if not keep_open:
+                return
+
+
+class ShardWorker:
+    """Dumb shard-holding TCP server: opens a store, answers screen requests.
+
+    The worker owns no model — only the persisted shard bytes.  Each
+    ``screen`` request names a shard, a kernel *kind*, per-query padded-k
+    budgets, and carries the precomputed query projections; the worker
+    streams that shard's blockwise top-k with the very same
+    :func:`~repro.serving.shards.screen_shard` every other execution plan
+    runs.  ``health`` and ``manifest`` probes let clients check liveness
+    and prove the worker serves the same store (fingerprint + catalog
+    digest) before trusting its numbers.
+
+    ``fault_policy`` injects deterministic faults into ``screen``
+    handling (delay / drop / error / corrupt) — the test and benchmark
+    harness for the failover client.
+    """
+
+    def __init__(self, manifest: str | Path | ShardStore,
+                 host: str = "127.0.0.1", port: int = 0,
+                 fault_policy: FaultPolicy | None = None,
+                 mmap_mode: str | None = "r",
+                 verify_checksums: bool = True):
+        if isinstance(manifest, ShardStore):
+            self.store = manifest
+        else:
+            self.store = ShardStore(manifest, mmap_mode=mmap_mode,
+                                    verify_checksums=verify_checksums)
+        self.fault_policy = fault_policy
+        self._server = _WorkerServer((host, int(port)), _WorkerHandler)
+        self._server.shard_worker = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> "ShardWorker":
+        """Serve in a daemon thread; returns self for chaining."""
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                name=f"shard-worker-{self.address[1]}", daemon=True)
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking serve loop (the standalone-process entry point)."""
+        self._server.serve_forever(poll_interval=0.05)
+
+    def stop(self) -> None:
+        """Stop accepting and close the listening socket (idempotent)."""
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "ShardWorker":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+    # ------------------------------------------------------------------
+    def _manifest_meta(self) -> dict:
+        store = self.store
+        fingerprint = store.manifest.get("fingerprint")
+        return {"fingerprint": fingerprint,
+                "catalog_digest": store.catalog_digest,
+                "num_drugs": store.num_drugs,
+                "embed_dim": store.embed_dim,
+                "num_shards": store.num_shards,
+                "block_size": store.block_size,
+                "quantization": store.quantization,
+                "projections": store.projection_names}
+
+    def dispatch(self, connection, header: dict,
+                 arrays: dict[str, np.ndarray]) -> bool:
+        """Answer one request frame; returns False to sever the connection."""
+        op = header.get("op")
+        meta = header.get("meta") or {}
+        with self._lock:
+            self.requests_served += 1
+        try:
+            if op == "health":
+                send_message(connection, {
+                    "status": "ok",
+                    "meta": {"num_shards": self.store.num_shards,
+                             "num_drugs": self.store.num_drugs,
+                             "quarantined": sorted(self.store.quarantined),
+                             "requests_served": self.requests_served}})
+                return True
+            if op == "manifest":
+                send_message(connection, {"status": "ok",
+                                          "meta": self._manifest_meta()})
+                return True
+            if op == "screen":
+                return self._handle_screen(connection, meta, arrays)
+            send_message(connection, {
+                "status": "error",
+                "meta": {"message": f"unknown op {op!r}"}})
+            return True
+        except Exception as error:  # noqa: BLE001 — forwarded to the client
+            # Any server-side failure (a quarantined shard's
+            # ShardIntegrityError included) becomes a structured error
+            # reply the client can fail over on — never a hung socket.
+            try:
+                send_message(connection, {
+                    "status": "error",
+                    "meta": {"message": f"{type(error).__name__}: {error}"}})
+            except OSError:
+                return False
+            return True
+
+    def _handle_screen(self, connection, meta: dict,
+                       arrays: dict[str, np.ndarray]) -> bool:
+        shard = int(meta["shard"])
+        rule = (self.fault_policy.decide("screen", shard)
+                if self.fault_policy is not None else None)
+        if rule is not None:
+            if rule.action == "delay":
+                time.sleep(rule.delay_s)
+            elif rule.action == "drop":
+                return False  # sever without a reply — a crashed worker
+            elif rule.action == "error":
+                send_message(connection, {
+                    "status": "error",
+                    "meta": {"message": "injected worker fault"}})
+                return True
+        num_queries = int(meta["num_queries"])
+        padded = [int(k) for k in meta["padded"]]
+        kernel = make_kernel(str(meta["kernel"]))
+        query_proj = _unflatten_arrays(arrays)
+        score = exact_score_fn(kernel, query_proj, bool(meta["two_sided"]))
+        results = screen_shard(self.store.open_shard(shard),
+                               int(meta["block_size"]), score,
+                               num_queries, padded)
+        out = {}
+        for qi, (indices, scores) in enumerate(results):
+            out[f"idx_{qi}"] = indices
+            out[f"sc_{qi}"] = scores
+        send_message(connection,
+                     {"status": "ok",
+                      "meta": {"shard": shard, "num_queries": num_queries}},
+                     out, _corrupt=rule is not None
+                     and rule.action == "corrupt")
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Client
+# ---------------------------------------------------------------------------
+class CircuitBreaker:
+    """Consecutive-failure circuit breaker with half-open probe recovery.
+
+    Closed: every request passes.  After ``threshold`` *consecutive*
+    failures the breaker opens: requests are refused without touching the
+    network for ``reset_s`` seconds.  Then it goes half-open: exactly one
+    probe request is let through — success closes the breaker, failure
+    re-opens it for another full window.  Thread-safe (the executor's
+    fan-out threads share per-worker breakers).
+    """
+
+    def __init__(self, threshold: int = 3, reset_s: float = 5.0,
+                 clock=time.monotonic):
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        if reset_s < 0:
+            raise ValueError("reset_s must be >= 0")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probing = False
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            if self._opened_at is None:
+                return "closed"
+            if self._probing:
+                return "half-open"
+            if self._clock() - self._opened_at >= self.reset_s:
+                return "half-open"
+            return "open"
+
+    def allow(self) -> bool:
+        """May a request go out now?  Claims the half-open probe slot."""
+        with self._lock:
+            if self._opened_at is None:
+                return True
+            if self._probing:
+                return False  # another thread holds the probe
+            if self._clock() - self._opened_at >= self.reset_s:
+                self._probing = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._failures = 0
+            self._opened_at = None
+            self._probing = False
+
+    def record_failure(self) -> bool:
+        """Fold in one failure; returns True when this trips the breaker."""
+        with self._lock:
+            if self._probing:
+                # Failed probe: straight back to open, fresh window.
+                self._probing = False
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            self._failures += 1
+            if self._opened_at is None and self._failures >= self.threshold:
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            return False
+
+
+def _parse_address(worker) -> tuple[str, int]:
+    """``(host, port)`` from a tuple, a ``"host:port"`` string, or a worker."""
+    if isinstance(worker, ShardWorker):
+        return worker.address
+    if isinstance(worker, str):
+        host, _, port = worker.rpartition(":")
+        if not host or not port.isdigit():
+            raise ValueError(f"worker address {worker!r} is not 'host:port'")
+        return host, int(port)
+    host, port = worker
+    return str(host), int(port)
+
+
+@dataclass
+class _Endpoint:
+    """Client-side view of one worker: address + health machinery."""
+
+    address: tuple[str, int]
+    breaker: CircuitBreaker
+    validated: bool = False    # manifest probe passed
+    mismatched: bool = False   # serves a different store — never use
+
+
+@dataclass(frozen=True)
+class _ScreenCall:
+    """Everything one screen fans out: shared by every shard task."""
+
+    kernel: object             # the local kernel object (for the fallback)
+    kind: str                  # its wire name
+    query_proj: dict           # nested projections (fallback scoring)
+    flat_proj: dict            # flattened projections (the wire payload)
+    num_queries: int
+    padded: tuple[int, ...]
+    block_size: int
+    two_sided: bool
+
+
+class RemoteShardExecutor:
+    """Fault-tolerant fan-out of per-shard top-k over remote shard workers.
+
+    Mirrors :class:`~repro.serving.executor.ParallelShardExecutor`'s
+    ``screen`` contract exactly, so the service can route a screen to
+    either interchangeably.  Determinism under faults: every replica and
+    the local fallback score the same shard bytes with the same kernel,
+    responses are CRC-checked and structurally validated before entering
+    the merge, and the reduce is the engine's deterministic
+    :func:`~repro.serving.shards.finalize_screen` — so the merged top-k
+    is bitwise-identical to the serial in-memory engine no matter which
+    replicas answered, how many retries it took, or whether any shard
+    fell back to local execution.
+
+    Per-shard request routing: attempt ``a`` for shard ``s`` goes to
+    worker ``(s + a) % len(workers)`` (skipping workers whose circuit
+    breaker is open or whose manifest mismatched), sleeping a bounded,
+    deterministically-jittered exponential backoff between attempts.
+    When every attempt fails and ``local_fallback`` is on, the shard is
+    screened from the locally mapped store.
+    """
+
+    def __init__(self, store: ShardStore | str | Path,
+                 workers: Sequence, *,
+                 timeout_s: float = 10.0,
+                 attempts: int = 3,
+                 backoff_base_s: float = 0.05,
+                 backoff_max_s: float = 1.0,
+                 breaker_threshold: int = 3,
+                 breaker_reset_s: float = 5.0,
+                 local_fallback: bool = True,
+                 validate_workers: bool = True,
+                 max_threads: int | None = None,
+                 fault_policy: FaultPolicy | None = None,
+                 seed: int = 0):
+        if not isinstance(store, ShardStore):
+            store = ShardStore(store)
+        addresses = [_parse_address(w) for w in workers]
+        if not addresses and not local_fallback:
+            raise ValueError("need at least one worker when local_fallback "
+                             "is off")
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        if timeout_s <= 0:
+            raise ValueError("timeout_s must be positive")
+        if backoff_base_s < 0 or backoff_max_s < 0:
+            raise ValueError("backoff times must be >= 0")
+        self._store = store
+        self._endpoints = [
+            _Endpoint(address=addr,
+                      breaker=CircuitBreaker(threshold=breaker_threshold,
+                                             reset_s=breaker_reset_s))
+            for addr in addresses]
+        self.timeout_s = timeout_s
+        self.attempts = attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.local_fallback = local_fallback
+        self.validate_workers = validate_workers
+        self.fault_policy = fault_policy
+        self._seed = int(seed)
+        self._max_threads = max_threads
+        self._threads: ThreadPoolExecutor | None = None
+        self._stats_lock = threading.Lock()
+        self.stats: dict[str, int] = {
+            "remote_requests": 0, "remote_failures": 0, "retries": 0,
+            "failovers": 0, "local_fallbacks": 0, "breaker_trips": 0,
+            "breaker_skips": 0, "corrupt_responses": 0,
+            "mismatched_workers": 0}
+
+    # ------------------------------------------------------------------
+    @property
+    def store(self) -> ShardStore:
+        return self._store
+
+    @property
+    def workers(self) -> list[tuple[str, int]]:
+        return [e.address for e in self._endpoints]
+
+    def breaker_states(self) -> dict[tuple[str, int], str]:
+        """Current circuit-breaker state per worker address."""
+        return {e.address: ("mismatched" if e.mismatched
+                            else e.breaker.state)
+                for e in self._endpoints}
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self.stats[counter] += amount
+
+    def _ensure_threads(self) -> ThreadPoolExecutor:
+        if self._threads is None:
+            size = self._max_threads or min(self._store.num_shards, 16)
+            self._threads = ThreadPoolExecutor(
+                max_workers=max(size, 1),
+                thread_name_prefix="remote-shard")
+        return self._threads
+
+    def close(self) -> None:
+        """Release the fan-out threads (idempotent; executor stays usable)."""
+        if self._threads is not None:
+            self._threads.shutdown(wait=True)
+            self._threads = None
+
+    def __enter__(self) -> "RemoteShardExecutor":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _roundtrip(self, endpoint: _Endpoint, header: dict,
+                   arrays: dict[str, np.ndarray] | None = None
+                   ) -> tuple[dict, dict[str, np.ndarray]]:
+        with socket.create_connection(endpoint.address,
+                                      timeout=self.timeout_s) as sock:
+            sock.settimeout(self.timeout_s)
+            send_message(sock, header, arrays)
+            return recv_message(sock)
+
+    def probe_health(self) -> dict[tuple[str, int], dict | None]:
+        """``health`` probe of every worker (None = unreachable)."""
+        out: dict[tuple[str, int], dict | None] = {}
+        for endpoint in self._endpoints:
+            try:
+                reply, _ = self._roundtrip(endpoint, {"op": "health"})
+                out[endpoint.address] = reply.get("meta")
+            except (OSError, EOFError, FrameError):
+                out[endpoint.address] = None
+        return out
+
+    def _validate_endpoint(self, endpoint: _Endpoint) -> None:
+        """Prove the worker serves *this* store before trusting its numbers.
+
+        Fingerprint, catalog digest, and row count must all match the
+        local manifest; a mismatched worker is excluded permanently (a
+        breaker only heals transient faults — a wrong catalog never
+        heals).  Raises on transport failure so the caller's retry path
+        handles it like any other failed attempt.
+        """
+        reply, _ = self._roundtrip(endpoint, {"op": "manifest"})
+        if reply.get("status") != "ok":
+            raise RemoteShardError(
+                f"worker {endpoint.address}: manifest probe failed: "
+                f"{(reply.get('meta') or {}).get('message')}")
+        meta = reply.get("meta") or {}
+        local = self._store.manifest
+        matches = (meta.get("fingerprint") == local.get("fingerprint")
+                   and meta.get("catalog_digest") == local.get(
+                       "catalog_digest")
+                   and meta.get("num_drugs") == self._store.num_drugs
+                   and meta.get("num_shards") == self._store.num_shards)
+        if not matches:
+            # Concurrent shard threads may validate the same endpoint at
+            # once; count each mismatched worker exactly once.
+            with self._stats_lock:
+                if not endpoint.mismatched:
+                    endpoint.mismatched = True
+                    self.stats["mismatched_workers"] += 1
+            raise RemoteShardError(
+                f"worker {endpoint.address} serves a different store "
+                f"(fingerprint/digest/shape mismatch) — excluded")
+        endpoint.validated = True
+
+    # ------------------------------------------------------------------
+    # Screening
+    # ------------------------------------------------------------------
+    def screen(self, kernel, query_proj: dict, num_queries: int,
+               top_k: int | Sequence[int],
+               block_size: int | None = None,
+               exclude: Sequence[np.ndarray] | np.ndarray | None = None,
+               two_sided: bool = False
+               ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Remote exact-mode screen; bitwise-equal to the serial engine.
+
+        Same contract as :meth:`ParallelShardExecutor.screen`: one
+        ``(indices, probabilities)`` pair per query, sorted by
+        (probability desc, index asc), exclusions removed.
+        """
+        block_size = block_size or self._store.block_size
+        top_ks = normalize_top_k(top_k, num_queries)
+        excludes = normalize_exclude(exclude, num_queries)
+        padded = tuple(k + e.size if k > 0 else 0
+                       for k, e in zip(top_ks, excludes))
+        call = _ScreenCall(
+            kernel=kernel, kind=kernel_kind(kernel),
+            query_proj=query_proj,
+            flat_proj=_flatten_arrays(query_proj),
+            num_queries=num_queries, padded=padded,
+            block_size=int(block_size), two_sided=bool(two_sided))
+        shard_ids = range(self._store.num_shards)
+        if self._store.num_shards == 1 or not self._endpoints:
+            per_shard = [self._screen_shard(call, sid) for sid in shard_ids]
+        else:
+            pool = self._ensure_threads()
+            per_shard = list(pool.map(
+                lambda sid: self._screen_shard(call, sid), shard_ids))
+        return finalize_screen(per_shard, list(padded), excludes, top_ks)
+
+    # -- per-shard retry / failover loop --------------------------------
+    def _screen_shard(self, call: _ScreenCall, shard: int
+                      ) -> list[tuple[np.ndarray, np.ndarray]]:
+        last_error: Exception | None = None
+        previous_address = None
+        for attempt in range(self.attempts):
+            endpoint = self._pick_endpoint(shard, attempt)
+            if endpoint is None:
+                break  # every replica's breaker is open / mismatched
+            if attempt:
+                self._bump("retries")
+                if endpoint.address != previous_address:
+                    self._bump("failovers")
+                time.sleep(self._backoff_s(shard, attempt - 1))
+            previous_address = endpoint.address
+            try:
+                result = self._request_screen(endpoint, call, shard)
+            except FrameError as error:
+                self._bump("corrupt_responses")
+                last_error = self._record_failure(endpoint, error)
+            except (OSError, EOFError, TimeoutError, RemoteShardError,
+                    FaultInjected, ValueError) as error:
+                last_error = self._record_failure(endpoint, error)
+            else:
+                endpoint.breaker.record_success()
+                return result
+        if self.local_fallback:
+            self._bump("local_fallbacks")
+            return self._screen_local(call, shard)
+        raise RemoteShardError(
+            f"shard {shard}: every remote attempt failed and local "
+            f"fallback is disabled") from last_error
+
+    def _record_failure(self, endpoint: _Endpoint,
+                        error: Exception) -> Exception:
+        self._bump("remote_failures")
+        if not endpoint.mismatched and endpoint.breaker.record_failure():
+            self._bump("breaker_trips")
+        return error
+
+    def _pick_endpoint(self, shard: int, attempt: int) -> _Endpoint | None:
+        """Next replica for ``(shard, attempt)``, honouring breakers."""
+        count = len(self._endpoints)
+        if not count:
+            return None
+        for offset in range(count):
+            endpoint = self._endpoints[(shard + attempt + offset) % count]
+            if endpoint.mismatched:
+                continue
+            if endpoint.breaker.allow():
+                return endpoint
+            self._bump("breaker_skips")
+        return None
+
+    def _backoff_s(self, shard: int, exponent: int) -> float:
+        """Bounded exponential backoff with deterministic jitter.
+
+        Jitter derives from CRC32 of ``(seed, shard, exponent)`` — spread
+        like randomness across shards (no thundering herd on a recovering
+        worker), yet byte-reproducible run to run, which keeps fault-
+        schedule tests deterministic.
+        """
+        base = min(self.backoff_max_s,
+                   self.backoff_base_s * (2.0 ** exponent))
+        token = zlib.crc32(
+            f"{self._seed}:{shard}:{exponent}".encode()) / 0xFFFFFFFF
+        return base * (0.5 + 0.5 * token)
+
+    def _request_screen(self, endpoint: _Endpoint, call: _ScreenCall,
+                        shard: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        if self.fault_policy is not None:
+            rule = self.fault_policy.decide("screen", shard)
+            if rule is not None:
+                if rule.action == "delay":
+                    time.sleep(rule.delay_s)
+                elif rule.action == "drop":
+                    raise ConnectionResetError(
+                        "injected client-side connection drop")
+                elif rule.action == "error":
+                    raise FaultInjected("injected client-side fault")
+                elif rule.action == "corrupt":
+                    raise FrameError("injected client-side corrupt frame")
+        if self.validate_workers and not endpoint.validated:
+            self._validate_endpoint(endpoint)
+        self._bump("remote_requests")
+        header = {"op": "screen",
+                  "meta": {"shard": shard,
+                           "block_size": call.block_size,
+                           "kernel": call.kind,
+                           "two_sided": call.two_sided,
+                           "num_queries": call.num_queries,
+                           "padded": list(call.padded)}}
+        reply, arrays = self._roundtrip(endpoint, header, call.flat_proj)
+        if reply.get("status") != "ok":
+            raise RemoteShardError(
+                f"worker {endpoint.address} failed shard {shard}: "
+                f"{(reply.get('meta') or {}).get('message')}")
+        try:
+            results = [(arrays[f"idx_{qi}"], arrays[f"sc_{qi}"])
+                       for qi in range(call.num_queries)]
+        except KeyError as error:
+            raise RemoteShardError(
+                f"worker {endpoint.address} reply is missing arrays "
+                f"({error})") from None
+        return validate_shard_results(results, call.num_queries,
+                                      call.padded,
+                                      num_drugs=self._store.num_drugs)
+
+    def _screen_local(self, call: _ScreenCall, shard: int
+                      ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Last-resort plan: screen the shard from the locally mapped store.
+
+        Same ``screen_shard`` over the same bytes, so falling back is
+        invisible in the results — only in :attr:`stats`.
+        """
+        score = exact_score_fn(call.kernel, call.query_proj,
+                               call.two_sided)
+        return screen_shard(self._store.open_shard(shard), call.block_size,
+                            score, call.num_queries, call.padded)
+
+
+# ---------------------------------------------------------------------------
+# Standalone worker entry point
+# ---------------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Serve a shard store's per-shard screening over TCP.")
+    parser.add_argument("manifest",
+                        help="shard-store manifest path (or its directory)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=0,
+                        help="0 picks an ephemeral port (printed)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip CRC verification of shard files on open")
+    args = parser.parse_args(argv)
+    worker = ShardWorker(args.manifest, host=args.host, port=args.port,
+                         verify_checksums=not args.no_verify)
+    host, port = worker.address
+    print(f"shard worker serving {args.manifest} on {host}:{port} "
+          f"({worker.store.num_shards} shards, "
+          f"{worker.store.num_drugs} drugs)", flush=True)
+    try:
+        worker.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -27,6 +27,8 @@ straight from a ``serialize.save_model`` artifact
 from __future__ import annotations
 
 import hashlib
+import io
+import json
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -36,13 +38,14 @@ import numpy as np
 from ..core.decoder import make_screen_kernel
 from ..core.encoder import EncoderContext
 from ..core.model import HyGNN
-from ..core.serialize import load_model
+from ..core.serialize import load_model, save_model
 from ..hypergraph import DrugHypergraphBuilder, Hypergraph
 from ..nn import Tensor
 from ..nn.functional import stable_sigmoid
 from .cache import EmbeddingCache, ServiceStats, weights_fingerprint
 from .executor import ParallelShardExecutor, exact_score_fn
 from .precision import dequantize_int8, resolve_precision
+from .remote import RemoteShardExecutor
 from .shards import ShardedEmbeddingCatalog, normalize_top_k
 from .store import ShardStore
 
@@ -168,6 +171,10 @@ class DDIScreeningService:
         self._store: ShardStore | None = None
         self._store_version: int | None = None
         self._executor: ParallelShardExecutor | None = None
+        # Multi-host tier: a fault-tolerant client over remote shard
+        # workers (see connect_workers); tied to the attached store's
+        # lifetime exactly like the process-pool executor.
+        self._remote: RemoteShardExecutor | None = None
         # Picklable weight-free screening kernel (scores from projections
         # only); shared by the serial engine and pool workers.
         self._screen_kernel = None
@@ -189,6 +196,133 @@ class DDIScreeningService:
         model, builder = load_model(path)
         return cls(model, builder, catalog_smiles, drug_ids=drug_ids,
                    **kwargs)
+
+    # ------------------------------------------------------------------
+    # Cold boot: manifest + serving context, no corpus encode
+    # ------------------------------------------------------------------
+    def save_serving_context(self, path: str | Path) -> Path:
+        """Persist everything :meth:`from_store` needs to cold-boot.
+
+        One ``.npz`` bundling the model + vocabulary archive
+        (``serialize.save_model``, embedded as bytes), the frozen encoder
+        context, the full drug list (registered extensions included, with
+        their incidence node ids), and the serving configuration.
+        Together with a :meth:`save_shards` manifest this is a complete
+        serving state: a fresh process can screen bitwise-identically to
+        this one without ever re-encoding the corpus.
+        """
+        self._ensure_fresh()
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_name(path.name + ".npz")
+        buffer = io.BytesIO()
+        save_model(buffer, self._model, self._builder)
+        meta = {"smiles": self._smiles,
+                "drug_ids": self._drug_ids,
+                "num_corpus": int(self._num_corpus),
+                "precision": self._dtype.name,
+                "fingerprint_mode": self._fingerprint_mode,
+                "block_size": int(self.block_size),
+                "num_shards": int(self.num_shards),
+                "sketch_rank": self._sketch_rank}
+        arrays = {
+            "meta_json": np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+            "model_archive": np.frombuffer(buffer.getvalue(),
+                                           dtype=np.uint8),
+            "num_context_layers": np.asarray(
+                self._cache.context.num_layers),
+            "num_extension": np.asarray(len(self._extension_nodes)),
+        }
+        for index, layer in enumerate(self._cache.context.layer_node_feats):
+            arrays[f"context_layer_{index}"] = layer.data
+        for index, nodes in enumerate(self._extension_nodes):
+            arrays[f"extension_nodes_{index}"] = nodes
+        np.savez_compressed(path, **arrays)
+        return path
+
+    @classmethod
+    def from_store(cls, manifest: str | Path, context: str | Path,
+                   workers: list | None = None,
+                   **kwargs) -> "DDIScreeningService":
+        """Cold-boot a service from a shard store + serving context.
+
+        ``manifest`` is a :meth:`save_shards` store (exact tier — a
+        quantized store cannot cold-boot: its int8 pages are not the
+        embedding rows), ``context`` a :meth:`save_serving_context`
+        bundle.  The catalog embeddings are *gathered from the shard
+        files* and adopted into the cache, so the corpus hypergraph is
+        never re-encoded (``stats.corpus_encodes`` stays 0); the store is
+        then attached strictly (fingerprint + catalog digest + shard
+        CRC checks all enforced), so a torn or mismatched store fails the
+        boot instead of serving wrong numbers.  Screening afterwards is
+        bitwise-identical to the warm service that wrote the artifacts.
+
+        ``workers`` (addresses for :meth:`connect_workers`) wires the
+        multi-host tier in the same call; other ``kwargs`` go to the
+        constructor (e.g. ``num_workers``, ``auto_refresh``).
+        """
+        context_path = Path(context)
+        with np.load(context_path, allow_pickle=False) as archive:
+            meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+            model, builder = load_model(
+                io.BytesIO(bytes(archive["model_archive"])))
+            num_layers = int(archive["num_context_layers"])
+            encoder_context = EncoderContext(layer_node_feats=tuple(
+                Tensor(archive[f"context_layer_{index}"])
+                for index in range(num_layers)))
+            extension_nodes = [
+                np.asarray(archive[f"extension_nodes_{index}"],
+                           dtype=np.int64)
+                for index in range(int(archive["num_extension"]))]
+        smiles = [str(s) for s in meta["smiles"]]
+        drug_ids = [str(d) for d in meta["drug_ids"]]
+        num_corpus = int(meta["num_corpus"])
+        if not 1 <= num_corpus <= len(smiles) or \
+                len(smiles) - num_corpus != len(extension_nodes):
+            raise ValueError("serving context is inconsistent: corpus/"
+                             "extension bookkeeping does not add up")
+        service = cls(model, builder, smiles[:num_corpus],
+                      drug_ids=drug_ids[:num_corpus],
+                      precision=meta["precision"],
+                      fingerprint_mode=meta["fingerprint_mode"],
+                      block_size=int(meta["block_size"]),
+                      num_shards=int(meta["num_shards"]),
+                      sketch_rank=meta.get("sketch_rank"),
+                      **kwargs)
+        # Registered extensions restore as bookkeeping only — their
+        # embedding rows come from the store like everyone else's.
+        service._smiles = smiles
+        service._drug_ids = drug_ids
+        service._index = {d: i for i, d in enumerate(drug_ids)}
+        service._extension_nodes = extension_nodes
+
+        store = ShardStore(manifest)
+        if store.is_quantized:
+            raise ValueError(
+                "cold boot needs an exact (non-quantized) shard store; "
+                "int8 pages are not the embedding rows")
+        if store.num_drugs != service.num_drugs:
+            raise ValueError(
+                f"shard store covers {store.num_drugs} drugs; the serving "
+                f"context lists {service.num_drugs}")
+        fingerprint = service._fingerprint()
+        if store.fingerprint != fingerprint:
+            raise ValueError(
+                "shard store fingerprint does not match the model in the "
+                "serving context")
+        # Gathering materialises the rows in RAM (the cache needs them for
+        # pair scoring and registrations) — shard CRCs are verified by
+        # open_shard on the way.
+        embeddings = np.concatenate(
+            [np.asarray(store.open_shard(index).embeddings)
+             for index in range(store.num_shards)],
+            axis=0).astype(service._dtype, copy=False)
+        service._cache.adopt(fingerprint, encoder_context, embeddings)
+        service.open_shards(store.path, strict=True)
+        if workers:
+            service.connect_workers(workers)
+        return service
 
     # ------------------------------------------------------------------
     # Catalog introspection
@@ -421,6 +555,11 @@ class DDIScreeningService:
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        if self._remote is not None:
+            # Remote workers serve the detached store's shards — their
+            # answers no longer describe the cache.
+            self._remote.close()
+            self._remote = None
         self._catalog_engine = None
         self._catalog_key = None
 
@@ -436,11 +575,55 @@ class DDIScreeningService:
                 self._store, num_workers=self.num_workers)
         return self._executor
 
+    # ------------------------------------------------------------------
+    # Multi-host tier
+    # ------------------------------------------------------------------
+    def connect_workers(self, workers: list,
+                        **kwargs) -> RemoteShardExecutor:
+        """Route exact-mode screens to remote shard workers.
+
+        ``workers`` are addresses (``(host, port)`` tuples,
+        ``"host:port"`` strings, or in-process
+        :class:`~repro.serving.remote.ShardWorker` objects) serving the
+        *attached* shard store's manifest; ``kwargs`` configure the
+        :class:`~repro.serving.remote.RemoteShardExecutor` (timeouts,
+        retry budget, circuit breakers, local fallback).  Requires an
+        attached exact store — the local mmap copy is the failover of
+        last resort, and the store's manifest is what worker manifests
+        are validated against.  Screens stay bitwise-identical to the
+        in-process plans under any fault schedule.
+        """
+        self._sync_store()
+        if self._store is None:
+            raise RuntimeError(
+                "connect_workers needs an attached shard store "
+                "(save_shards + open_shards first)")
+        if self._store.is_quantized:
+            raise ValueError("remote screening serves the exact tier; "
+                             "a quantized store is approximate-only")
+        if self._remote is not None:
+            self._remote.close()
+        self._remote = RemoteShardExecutor(self._store, workers, **kwargs)
+        return self._remote
+
+    def disconnect_workers(self) -> None:
+        """Drop the remote tier; screens run in-process again."""
+        if self._remote is not None:
+            self._remote.close()
+            self._remote = None
+
+    @property
+    def remote(self) -> RemoteShardExecutor | None:
+        """The connected remote executor, if any (stats live on it)."""
+        return self._remote
+
     def close(self) -> None:
-        """Release the worker pool, if any; the service stays usable."""
+        """Release the worker pool and remote tier; the service stays
+        usable."""
         if self._executor is not None:
             self._executor.close()
             self._executor = None
+        self.disconnect_workers()
 
     def __enter__(self) -> "DDIScreeningService":
         return self
@@ -789,7 +972,19 @@ class DDIScreeningService:
             stats.prefilter_pairs += num_queries * self.num_drugs
             stats.pairs_scored += rescored
         else:
-            if use_parallel:
+            # The remote tier wins the default routing when connected
+            # (parallel=None); parallel=True still demands the local
+            # process pool, parallel=False forces fully in-process.
+            # Every plan is bitwise-identical, so routing is a pure
+            # performance/placement decision.
+            if parallel is None and self._remote is not None \
+                    and self._store is not None:
+                results = self._remote.screen(
+                    kernel, query_proj, num_queries, top_ks,
+                    block_size=self.block_size, exclude=exclude,
+                    two_sided=two_sided)
+                stats.remote_screens += num_queries
+            elif use_parallel:
                 results = self._get_executor().screen(
                     kernel, query_proj, num_queries, top_ks,
                     block_size=self.block_size, exclude=exclude,

@@ -187,6 +187,48 @@ def _screen_shard_batched(shard: "CatalogShard", block_size: int,
             for qi, k in enumerate(padded)]
 
 
+def validate_shard_results(results: list[tuple[np.ndarray, np.ndarray]],
+                           num_queries: int, padded: Sequence[int],
+                           num_drugs: int | None = None
+                           ) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Sanity-check one shard's per-query top-k before it enters the merge.
+
+    Remote workers return results over a network transport; a frame that
+    passes the checksum can still be structurally wrong (a buggy or
+    mismatched worker).  :func:`finalize_screen` assumes well-formed
+    inputs, so the client validates here — shape, dtype family, paired
+    lengths, budget ceiling, and (when ``num_drugs`` is known) index
+    range — and raises ``ValueError`` on any violation, which the caller
+    treats like any other failed request (retry / failover).
+    """
+    if len(results) != num_queries:
+        raise ValueError(f"shard returned {len(results)} per-query results "
+                         f"for {num_queries} queries")
+    checked = []
+    for qi, (indices, scores) in enumerate(results):
+        indices = np.asarray(indices)
+        scores = np.asarray(scores)
+        if indices.ndim != 1 or scores.ndim != 1 \
+                or len(indices) != len(scores):
+            raise ValueError(f"query {qi}: indices/scores are not paired "
+                             f"1-D arrays")
+        if not np.issubdtype(indices.dtype, np.integer):
+            raise ValueError(f"query {qi}: indices dtype {indices.dtype} "
+                             f"is not integral")
+        if not np.issubdtype(scores.dtype, np.floating):
+            raise ValueError(f"query {qi}: scores dtype {scores.dtype} "
+                             f"is not floating")
+        if len(indices) > max(padded[qi], 0):
+            raise ValueError(f"query {qi}: {len(indices)} rows exceed the "
+                             f"padded budget {padded[qi]}")
+        if len(indices) and (indices.min() < 0 or (
+                num_drugs is not None and indices.max() >= num_drugs)):
+            raise ValueError(f"query {qi}: candidate index out of catalog "
+                             f"range")
+        checked.append((indices.astype(np.int64, copy=False), scores))
+    return checked
+
+
 def finalize_screen(per_shard: list[list[tuple[np.ndarray, np.ndarray]]],
                     padded: Sequence[int], excludes: Sequence[np.ndarray],
                     top_k: int | Sequence[int]

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import re
+import zlib
 from pathlib import Path
 from typing import Sequence
 
@@ -47,6 +48,44 @@ from .shards import CatalogShard, ShardedEmbeddingCatalog
 MANIFEST_NAME = "manifest.json"
 STORE_FORMAT = "repro.serving.shard-store/v1"
 _NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+_CRC_CHUNK = 1 << 20  # 1 MB read chunks keep verification O(1) in heap
+
+
+class ShardIntegrityError(ValueError):
+    """A shard file's bytes no longer match its manifest CRC32 checksum.
+
+    Raised instead of serving silently mis-scored results from a torn or
+    corrupted ``.npy``; the offending shard index lands in
+    :attr:`ShardStore.quarantined` so callers (the remote worker, the
+    failover client) can route around it.
+    """
+
+
+def _crc32_file(path: Path) -> int:
+    """CRC32 of a file's bytes, streamed in chunks (O(1) heap)."""
+    crc = 0
+    with open(path, "rb") as handle:
+        while True:
+            chunk = handle.read(_CRC_CHUNK)
+            if not chunk:
+                break
+            crc = zlib.crc32(chunk, crc)
+    return crc & 0xFFFFFFFF
+
+
+def _atomic_save(root: Path, name: str, array: np.ndarray) -> int:
+    """Write ``root/name`` as ``.npy`` via temp file + ``os.replace``.
+
+    Readers can never observe a half-written array: they see either the
+    old file or the new one.  Returns the CRC32 of the written bytes for
+    the manifest's integrity record.
+    """
+    tmp = root / (name + ".tmp")
+    with open(tmp, "wb") as handle:
+        np.save(handle, array)
+    crc = _crc32_file(tmp)
+    tmp.replace(root / name)
+    return crc
 
 
 def _validate_quantization(spec, embed_dim: int, projections: list[str],
@@ -99,7 +138,8 @@ class ShardStore:
     is assigned shard *i* maps only shard *i*'s files.
     """
 
-    def __init__(self, path: str | Path, mmap_mode: str | None = "r"):
+    def __init__(self, path: str | Path, mmap_mode: str | None = "r",
+                 verify_checksums: bool = True):
         path = Path(path)
         if path.is_dir():
             path = path / MANIFEST_NAME
@@ -135,10 +175,22 @@ class ShardStore:
             self._quantization = _validate_quantization(
                 manifest.get("quantization"), self._embed_dim,
                 list(manifest["projections"]), list(manifest["aliases"]))
+            checksums = manifest.get("checksums")
+            if checksums is not None and not isinstance(checksums, dict):
+                raise TypeError
+            self._checksums = ({str(name): int(crc)
+                                for name, crc in checksums.items()}
+                               if checksums else None)
         except (TypeError, ValueError, KeyError) as error:
             raise ValueError(
                 f"{path} has malformed manifest fields") from error
         self.catalog_digest = manifest.get("catalog_digest")
+        self.verify_checksums = verify_checksums
+        # Shard indices whose files failed CRC verification — detected
+        # rather than served; callers route around them (failover) or
+        # re-save the store.
+        self.quarantined: set[int] = set()
+        self._verified: set[str] = set()
         self._opened: dict[int, CatalogShard] = {}
 
     # ------------------------------------------------------------------
@@ -184,11 +236,63 @@ class ShardStore:
             return scales["embeddings"]
         return scales["projections"][name]
 
+    @property
+    def has_checksums(self) -> bool:
+        """Whether the manifest carries per-file CRC32 checksums."""
+        return self._checksums is not None
+
+    def _verify_file(self, name: str, shard: int | None = None) -> None:
+        """CRC-check one store file (memoized); quarantine on mismatch.
+
+        A manifest without checksums (pre-integrity stores) skips
+        verification silently — there is nothing to check against.
+        """
+        if (not self.verify_checksums or self._checksums is None
+                or name in self._verified):
+            return
+        expected = self._checksums.get(name)
+        if expected is None:
+            return
+        actual = _crc32_file(self.root / name)
+        if actual != expected:
+            if shard is not None:
+                self.quarantined.add(shard)
+            raise ShardIntegrityError(
+                f"{self.root / name}: CRC32 {actual:#010x} does not match "
+                f"manifest checksum {expected:#010x} — shard file is torn "
+                f"or corrupt" + (f" (shard {shard} quarantined)"
+                                 if shard is not None else ""))
+        self._verified.add(name)
+
+    def _shard_files(self, index: int) -> list[str]:
+        spec = self.manifest["shards"][index]
+        return [spec["embeddings"], *spec["projections"].values()]
+
+    def verify(self, strict: bool = False) -> list[int]:
+        """CRC-check every shard file now; returns the bad shard indices.
+
+        Bad shards are quarantined.  ``strict=True`` raises
+        :class:`ShardIntegrityError` on the first mismatch instead of
+        collecting.  A manifest without checksums verifies vacuously.
+        """
+        bad: list[int] = []
+        for index in range(self.num_shards):
+            try:
+                for name in self._shard_files(index):
+                    self._verify_file(name, shard=index)
+            except ShardIntegrityError:
+                if strict:
+                    raise
+                bad.append(index)
+        return bad
+
     def sketch_factors(self) -> dict[str, np.ndarray] | None:
         """The prefilter sketch factors saved with the store, if any."""
         spec = self.manifest.get("sketch_factors")
         if not spec:
             return None
+        for name in spec.values():
+            self._verify_file(name)
         factors = {"mean": np.load(self.root / spec["mean"]),
                    "components": np.load(self.root / spec["components"])}
         if spec.get("std"):
@@ -212,6 +316,12 @@ class ShardStore:
             return shard
         spec = self.manifest["shards"][index]
         start, stop = int(spec["start"]), int(spec["stop"])
+        # Integrity first: a torn/corrupt file must be *detected* (and the
+        # shard quarantined), never silently mis-scored.  The CRC pass
+        # streams the file in chunks, so heap stays O(1) even for shards
+        # far larger than RAM.
+        for name in self._shard_files(index):
+            self._verify_file(name, shard=index)
         embeddings = np.load(self.root / spec["embeddings"],
                              mmap_mode=self.mmap_mode)
         if embeddings.shape != (stop - start, self.embed_dim):
@@ -310,17 +420,24 @@ class ShardStore:
         chunks = [c for c in np.array_split(
             np.arange(len(embeddings), dtype=np.int64), num_shards)
             if len(c)]
+        # Every array is written atomically (temp + os.replace) and its
+        # CRC32 recorded, so a crash mid-save can never leave readable but
+        # half-written shard files, and a torn file written any other way
+        # is detected on open instead of silently mis-scoring.
+        checksums: dict[str, int] = {}
         shard_specs = []
         for i, chunk in enumerate(chunks):
             lo, hi = int(chunk[0]), int(chunk[-1]) + 1
             emb_file = f"shard_{i:05d}.emb.npy"
-            np.save(root / emb_file, stored_emb[lo:hi])
+            checksums[emb_file] = _atomic_save(root, emb_file,
+                                               stored_emb[lo:hi])
             proj_files = {}
             for name in projections:
                 if name in aliases:
                     continue
                 proj_file = f"shard_{i:05d}.proj.{name}.npy"
-                np.save(root / proj_file, stored_proj[name][lo:hi])
+                checksums[proj_file] = _atomic_save(
+                    root, proj_file, stored_proj[name][lo:hi])
                 proj_files[name] = proj_file
             shard_specs.append({"start": lo, "stop": hi,
                                 "embeddings": emb_file,
@@ -329,12 +446,11 @@ class ShardStore:
         if sketch_factors is not None:
             sketch_spec = {"mean": "sketch.mean.npy",
                            "components": "sketch.components.npy"}
-            np.save(root / sketch_spec["mean"], sketch_factors["mean"])
-            np.save(root / sketch_spec["components"],
-                    sketch_factors["components"])
             if sketch_factors.get("std") is not None:
                 sketch_spec["std"] = "sketch.std.npy"
-                np.save(root / sketch_spec["std"], sketch_factors["std"])
+            for key, file_name in sketch_spec.items():
+                checksums[file_name] = _atomic_save(root, file_name,
+                                                    sketch_factors[key])
         manifest = {
             "format": STORE_FORMAT,
             "fingerprint": (_fingerprint_to_json(fingerprint)
@@ -349,10 +465,13 @@ class ShardStore:
             "shards": shard_specs,
             "quantization": quantization,
             "sketch_factors": sketch_spec,
+            "checksums": checksums,
         }
         manifest_path = root / MANIFEST_NAME
-        # Write-then-rename so a crashed save never leaves a manifest that
-        # points at half-written shards.
+        # The manifest is written last and renamed into place atomically:
+        # a crash at any earlier point leaves either no manifest or the
+        # previous complete one — never a manifest pointing at missing or
+        # partial shard files.
         tmp = manifest_path.with_suffix(".json.tmp")
         tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
         tmp.replace(manifest_path)

@@ -1,0 +1,802 @@
+"""Tests for the fault-tolerant multi-host screening tier: wire framing,
+deterministic fault injection (`repro.serving.faults`), the shard worker +
+failover client (`repro.serving.remote`), store integrity checksums and
+quarantine, cold boot (`DDIScreeningService.from_store`), process-pool
+hardening against worker death, and the gateway's failure/deadline
+accounting.
+
+The contract under test everywhere: under **any** fault schedule — dropped
+connections, injected errors, corrupted frames, timeouts, dead workers,
+torn shard files — the merged top-k is either bitwise-identical to the
+serial in-memory engine or an explicit error; never silently wrong.
+"""
+
+import os
+import signal
+import socket
+import time
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.chem import MoleculeGenerator
+from repro.core import HyGNN, HyGNNConfig
+from repro.core.decoder import (KERNEL_KINDS, kernel_kind, make_kernel,
+                                make_screen_kernel)
+from repro.serving import (CircuitBreaker, DDIScreeningService,
+                           DeadlineExceeded, FaultInjected, FaultPolicy,
+                           FaultRule, FrameError, ParallelShardExecutor,
+                           RemoteShardError, RemoteShardExecutor,
+                           ScreeningGateway, ShardIntegrityError, ShardStore,
+                           ShardWorker, corrupt_payload, exact_score_fn,
+                           recv_message, send_message)
+from repro.serving.remote import _flatten_arrays, _unflatten_arrays
+from repro.serving.shards import validate_shard_results
+
+
+def _corpus(n=30, seed=11):
+    return [r.smiles for r in MoleculeGenerator(seed=seed).generate_corpus(n)]
+
+
+@pytest.fixture(scope="module", params=["mlp", "dot"])
+def setup(request):
+    corpus = _corpus()
+    config = HyGNNConfig(parameter=4, embed_dim=12, hidden_dim=12, seed=5,
+                         decoder=request.param)
+    model, hypergraph, builder = HyGNN.for_corpus(corpus, config)
+    return corpus, config, model, builder
+
+
+@pytest.fixture(scope="module")
+def served(setup, tmp_path_factory):
+    """A service with a saved + attached 3-shard store, plus its manifest."""
+    corpus, _, model, builder = setup
+    service = DDIScreeningService(model, builder, corpus, num_shards=3,
+                                  block_size=16)
+    root = tmp_path_factory.mktemp("remote-store")
+    manifest = service.save_shards(root / "store", num_shards=3)
+    assert service.open_shards(manifest, strict=True)
+    return service, manifest
+
+
+def _hits(results):
+    return [[(h.index, h.probability) for h in hits] for hits in results]
+
+
+def _corrupt_file_tail(path):
+    """Flip data bytes at the end of a ``.npy`` file.
+
+    Leaves the numpy header intact, so the file still *loads* — only an
+    integrity check can tell the rows are wrong, which is exactly the
+    torn-page failure mode the checksums exist for.
+    """
+    raw = path.read_bytes()
+    path.write_bytes(raw[:-16] + corrupt_payload(raw[-16:]))
+
+
+class _Pipe:
+    """In-memory socket stand-in for framing tests."""
+
+    def __init__(self):
+        self.buffer = bytearray()
+        self.offset = 0
+
+    def sendall(self, data):
+        self.buffer.extend(data)
+
+    def recv(self, count):
+        chunk = bytes(self.buffer[self.offset:self.offset + count])
+        self.offset += len(chunk)
+        return chunk
+
+
+# ---------------------------------------------------------------------------
+# Wire framing
+# ---------------------------------------------------------------------------
+class TestFraming:
+    def test_round_trip_nested_arrays_bitwise(self):
+        rng = np.random.default_rng(0)
+        tree = {"as_left": {"const": rng.standard_normal((2, 5)),
+                            "g_max": rng.standard_normal((2, 5, 3))},
+                "emb": rng.standard_normal((2, 4)).astype(np.float32),
+                "idx": np.arange(7, dtype=np.int64)}
+        pipe = _Pipe()
+        send_message(pipe, {"op": "screen", "meta": {"shard": 2}},
+                     _flatten_arrays(tree))
+        header, arrays = recv_message(pipe)
+        assert header["op"] == "screen" and header["meta"] == {"shard": 2}
+        back = _unflatten_arrays(arrays)
+        assert back["emb"].dtype == np.float32
+        np.testing.assert_array_equal(back["emb"], tree["emb"])
+        np.testing.assert_array_equal(back["idx"], tree["idx"])
+        for name in ("const", "g_max"):
+            np.testing.assert_array_equal(back["as_left"][name],
+                                          tree["as_left"][name])
+
+    def test_empty_arrays_and_no_arrays(self):
+        pipe = _Pipe()
+        send_message(pipe, {"op": "health"})
+        header, arrays = recv_message(pipe)
+        assert header["op"] == "health" and arrays == {}
+        pipe = _Pipe()
+        send_message(pipe, {"op": "x"}, {"empty": np.zeros((0, 4))})
+        _, arrays = recv_message(pipe)
+        assert arrays["empty"].shape == (0, 4)
+
+    def test_corrupted_payload_raises_frame_error(self):
+        pipe = _Pipe()
+        send_message(pipe, {"op": "screen"},
+                     {"a": np.arange(8, dtype=np.float64)}, _corrupt=True)
+        with pytest.raises(FrameError, match="CRC32"):
+            recv_message(pipe)
+
+    def test_truncated_frame_raises_eof(self):
+        pipe = _Pipe()
+        send_message(pipe, {"op": "screen"}, {"a": np.arange(8.0)})
+        pipe.buffer = pipe.buffer[:len(pipe.buffer) - 5]
+        with pytest.raises(EOFError):
+            recv_message(pipe)
+
+    def test_garbage_header_rejected(self):
+        pipe = _Pipe()
+        pipe.buffer.extend(b"\x00\x00\x00\x04notj")
+        with pytest.raises(FrameError):
+            recv_message(pipe)
+
+
+# ---------------------------------------------------------------------------
+# Fault policy determinism
+# ---------------------------------------------------------------------------
+class TestFaultPolicy:
+    def test_attempt_counters_are_per_op_shard(self):
+        policy = FaultPolicy([FaultRule("error", shard=1, attempt=1)])
+        assert policy.decide("screen", 1) is None      # shard 1 attempt 0
+        assert policy.decide("screen", 0) is None      # other shard
+        rule = policy.decide("screen", 1)              # shard 1 attempt 1
+        assert rule is not None and rule.action == "error"
+        assert policy.decide("screen", 1) is None      # rule budget spent
+        assert policy.attempts("screen", 1) == 3
+
+    def test_times_budget_and_reset(self):
+        policy = FaultPolicy.single("drop", shard=0, attempt=None, times=2)
+        assert [policy.decide("screen", 0) is not None
+                for _ in range(4)] == [True, True, False, False]
+        policy.reset()
+        assert policy.decide("screen", 0) is not None
+        assert len(policy.fired) == 1
+
+    def test_two_runs_fire_identically(self):
+        def run():
+            policy = FaultPolicy([FaultRule("error", shard=2, attempt=0),
+                                  FaultRule("corrupt", attempt=1,
+                                            times=None)])
+            log = []
+            for shard in (0, 1, 2, 0, 1, 2):
+                rule = policy.decide("screen", shard)
+                log.append(None if rule is None else rule.action)
+            return log
+        assert run() == run()
+
+    def test_rule_validation(self):
+        with pytest.raises(ValueError, match="action"):
+            FaultRule("explode")
+        with pytest.raises(ValueError, match="times"):
+            FaultRule("drop", times=0)
+        with pytest.raises(ValueError, match="delay_s"):
+            FaultRule("delay", delay_s=-1.0)
+
+    def test_corrupt_payload_flips_bytes_same_length(self):
+        data = bytes(range(64))
+        damaged = corrupt_payload(data)
+        assert len(damaged) == len(data) and damaged != data
+        assert corrupt_payload(b"") == b""
+
+
+# ---------------------------------------------------------------------------
+# Circuit breaker
+# ---------------------------------------------------------------------------
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures_and_half_open_recovers(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=2, reset_s=10.0,
+                                 clock=lambda: clock[0])
+        assert breaker.allow() and breaker.state == "closed"
+        assert not breaker.record_failure()
+        assert breaker.record_failure()          # second failure trips
+        assert breaker.state == "open" and not breaker.allow()
+        clock[0] = 11.0                          # reset window elapsed
+        assert breaker.state == "half-open"
+        assert breaker.allow()                   # the probe slot
+        assert not breaker.allow()               # only one probe at a time
+        breaker.record_success()
+        assert breaker.state == "closed" and breaker.allow()
+
+    def test_failed_probe_reopens_full_window(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, reset_s=5.0,
+                                 clock=lambda: clock[0])
+        breaker.record_failure()
+        clock[0] = 6.0
+        assert breaker.allow()                   # probe
+        assert breaker.record_failure()          # probe fails -> reopen
+        assert not breaker.allow()
+        clock[0] = 10.0                          # not a full window yet
+        assert not breaker.allow()
+        clock[0] = 11.5
+        assert breaker.allow()
+        assert breaker.trips == 2
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure()
+        breaker.record_success()
+        assert not breaker.record_failure()      # 1 consecutive, not 2
+
+
+# ---------------------------------------------------------------------------
+# Reply validation
+# ---------------------------------------------------------------------------
+class TestValidateShardResults:
+    def _good(self):
+        return [(np.array([3, 1], dtype=np.int64), np.array([0.9, 0.8]))]
+
+    def test_passes_and_casts(self):
+        out = validate_shard_results(
+            [(np.array([3, 1], dtype=np.int32), np.array([0.9, 0.8]))],
+            1, [2], num_drugs=5)
+        assert out[0][0].dtype == np.int64
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            validate_shard_results(self._good(), 2, [2, 2])
+        with pytest.raises(ValueError):   # unpaired lengths
+            validate_shard_results(
+                [(np.array([1]), np.array([0.5, 0.4]))], 1, [2])
+        with pytest.raises(ValueError):   # over padded budget
+            validate_shard_results(self._good(), 1, [1])
+        with pytest.raises(ValueError):   # index out of catalog
+            validate_shard_results(self._good(), 1, [2], num_drugs=2)
+        with pytest.raises(ValueError):   # float indices
+            validate_shard_results(
+                [(np.array([1.5, 2.5]), np.array([0.5, 0.4]))], 1, [2])
+
+
+# ---------------------------------------------------------------------------
+# Worker + remote executor
+# ---------------------------------------------------------------------------
+class TestShardWorker:
+    def test_health_and_manifest_probes(self, served):
+        service, manifest = served
+        store = ShardStore(manifest)
+        with ShardWorker(manifest) as worker:
+            executor = RemoteShardExecutor(store, [worker])
+            health = executor.probe_health()
+            (meta,) = health.values()
+            assert meta["num_shards"] == 3
+            assert meta["num_drugs"] == store.num_drugs
+            assert meta["quarantined"] == []
+
+    def test_unknown_op_is_structured_error(self, served):
+        _, manifest = served
+        with ShardWorker(manifest) as worker:
+            with socket.create_connection(worker.address, timeout=5) as sock:
+                send_message(sock, {"op": "nonsense"})
+                reply, _ = recv_message(sock)
+            assert reply["status"] == "error"
+            assert "nonsense" in reply["meta"]["message"]
+
+    def test_screen_request_matches_local_screen_shard(self, setup, served):
+        _, config, model, _ = setup
+        service, manifest = served
+        store = ShardStore(manifest)
+        kernel = make_screen_kernel(model.decoder)
+        rng = np.random.default_rng(3)
+        queries = rng.standard_normal((2, config.embed_dim))
+        query_proj = model.decoder.project_queries(queries,
+                                                   sides=("as_left",))
+        with ShardWorker(manifest) as worker:
+            with socket.create_connection(worker.address, timeout=5) as sock:
+                send_message(sock, {"op": "screen", "meta": {
+                    "shard": 1, "block_size": 8,
+                    "kernel": kernel_kind(kernel), "two_sided": False,
+                    "num_queries": 2, "padded": [4, 4]}},
+                    _flatten_arrays(query_proj))
+                reply, arrays = recv_message(sock)
+        assert reply["status"] == "ok"
+        local = exact_score_fn(kernel, query_proj, False)
+        from repro.serving.shards import screen_shard
+        expected = screen_shard(store.open_shard(1), 8, local, 2, [4, 4])
+        for qi, (idx, scores) in enumerate(expected):
+            np.testing.assert_array_equal(arrays[f"idx_{qi}"], idx)
+            np.testing.assert_array_equal(arrays[f"sc_{qi}"], scores)
+
+
+class TestRemoteExecutor:
+    def _serial(self, served, **kwargs):
+        service, _ = served
+        return _hits(service.screen_batch([0, 5, 9], top_k=6,
+                                          parallel=False, **kwargs))
+
+    def test_parity_and_routing(self, served):
+        service, manifest = served
+        serial = self._serial(served)
+        with ShardWorker(manifest) as w1, ShardWorker(manifest) as w2:
+            service.connect_workers([w1, w2], backoff_base_s=0.001)
+            try:
+                before = service.stats.remote_screens
+                remote = _hits(service.screen_batch([0, 5, 9], top_k=6))
+                assert remote == serial
+                assert service.stats.remote_screens == before + 3
+                assert service.remote.stats["remote_requests"] == 3
+                assert service.remote.stats["local_fallbacks"] == 0
+                # parallel=False still forces fully in-process.
+                forced = _hits(service.screen_batch([0, 5, 9], top_k=6,
+                                                    parallel=False))
+                assert forced == serial
+            finally:
+                service.disconnect_workers()
+
+    def test_parity_two_sided_and_heterogeneous(self, served):
+        service, manifest = served
+        queries, top_ks = [1, 4, 7], [2, 6, 4]
+        exclude = [(3,), (), (0, 2)]
+        serial = _hits(service.screen_batch(
+            queries, top_k=top_ks, exclude=exclude, symmetric=True,
+            parallel=False))
+        with ShardWorker(manifest) as worker:
+            service.connect_workers([worker], backoff_base_s=0.001)
+            try:
+                remote = _hits(service.screen_batch(
+                    queries, top_k=top_ks, exclude=exclude, symmetric=True))
+                assert remote == serial
+            finally:
+                service.disconnect_workers()
+
+    def test_fault_schedule_sweep_stays_bitwise(self, served):
+        """Drop / error / corrupt each shard for 1..3 consecutive attempts:
+        every schedule either fails over or falls back locally, and the
+        merged top-k is bitwise the serial answer every single time."""
+        service, manifest = served
+        serial = self._serial(served)
+        attempts = 3
+        for action in ("drop", "error", "corrupt"):
+            for shard in range(3):
+                for consecutive in (1, 2, 3):
+                    policy = FaultPolicy.single(
+                        action, shard=shard, attempt=None,
+                        times=consecutive)
+                    with ShardWorker(manifest, fault_policy=policy) as w1, \
+                            ShardWorker(manifest, fault_policy=policy) as w2:
+                        service.connect_workers(
+                            [w1, w2], attempts=attempts,
+                            backoff_base_s=0.001, breaker_threshold=10)
+                        try:
+                            got = _hits(service.screen_batch(
+                                [0, 5, 9], top_k=6))
+                            stats = service.remote.stats
+                        finally:
+                            service.disconnect_workers()
+                    label = f"{action}/shard{shard}/x{consecutive}"
+                    assert got == serial, label
+                    assert len(policy.fired) == consecutive, label
+                    if consecutive == attempts:
+                        assert stats["local_fallbacks"] >= 1, label
+                    else:
+                        assert stats["local_fallbacks"] == 0, label
+                        assert stats["retries"] >= consecutive, label
+
+    def test_timeout_then_failover(self, served):
+        service, manifest = served
+        serial = self._serial(served)
+        policy = FaultPolicy.single("delay", shard=1, delay_s=1.0)
+        with ShardWorker(manifest, fault_policy=policy) as w1, \
+                ShardWorker(manifest, fault_policy=policy) as w2:
+            service.connect_workers([w1, w2], timeout_s=0.25,
+                                    backoff_base_s=0.001)
+            try:
+                got = _hits(service.screen_batch([0, 5, 9], top_k=6))
+            finally:
+                stats = service.remote.stats
+                service.disconnect_workers()
+        assert got == serial
+        assert stats["remote_failures"] >= 1 and stats["retries"] >= 1
+
+    def test_dead_worker_fails_over_bitwise(self, served):
+        service, manifest = served
+        serial = self._serial(served)
+        w1 = ShardWorker(manifest).start()
+        w2 = ShardWorker(manifest).start()
+        try:
+            service.connect_workers([w1, w2], backoff_base_s=0.001)
+            w1.stop()   # a crashed host: connections now refused
+            got = _hits(service.screen_batch([0, 5, 9], top_k=6))
+            assert got == serial
+            assert service.remote.stats["failovers"] >= 1
+        finally:
+            service.disconnect_workers()
+            w2.stop()
+
+    def test_all_workers_down_local_fallback_bitwise(self, served):
+        service, manifest = served
+        serial = self._serial(served)
+        # Ports from a closed listener: connection refused immediately.
+        dead = []
+        for _ in range(2):
+            probe = socket.socket()
+            probe.bind(("127.0.0.1", 0))
+            dead.append(probe.getsockname())
+            probe.close()
+        service.connect_workers(dead, timeout_s=0.25, backoff_base_s=0.001,
+                                breaker_threshold=2, breaker_reset_s=30.0)
+        try:
+            got = _hits(service.screen_batch([0, 5, 9], top_k=6))
+            stats = dict(service.remote.stats)
+        finally:
+            service.disconnect_workers()
+        assert got == serial
+        assert stats["local_fallbacks"] == 3      # one per shard
+        assert stats["breaker_trips"] >= 1        # breakers opened
+        assert stats["breaker_skips"] >= 1        # later shards skipped them
+
+    def test_no_fallback_raises_after_exhaustion(self, served):
+        _, manifest = served
+        store = ShardStore(manifest)
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        address = probe.getsockname()
+        probe.close()
+        executor = RemoteShardExecutor(
+            store, [address], timeout_s=0.25, attempts=2,
+            backoff_base_s=0.001, local_fallback=False)
+        kernel = make_kernel(sorted(KERNEL_KINDS)[0])
+        with pytest.raises(RemoteShardError, match="remote attempt"):
+            executor.screen(kernel, {"emb": np.zeros((1, store.embed_dim))},
+                            1, 3)
+        with pytest.raises(ValueError, match="worker"):
+            RemoteShardExecutor(store, [], local_fallback=False)
+
+    def test_client_side_fault_policy_drives_retries(self, served):
+        """The same policy plugs into the client, faulting requests before
+        any bytes move — the retry machinery is testable without a
+        misbehaving server."""
+        service, manifest = served
+        serial = self._serial(served)
+        with ShardWorker(manifest) as worker:
+            policy = FaultPolicy([FaultRule("error", shard=0, attempt=0),
+                                  FaultRule("drop", shard=1, attempt=0),
+                                  FaultRule("corrupt", shard=2, attempt=0)])
+            service.connect_workers([worker], backoff_base_s=0.001,
+                                    fault_policy=policy)
+            try:
+                got = _hits(service.screen_batch([0, 5, 9], top_k=6))
+                stats = dict(service.remote.stats)
+            finally:
+                service.disconnect_workers()
+        assert got == serial
+        # Shards fan out on threads, so assert per-shard (order-free).
+        assert {(f.shard, f.action) for f in policy.fired} == {
+            (0, "error"), (1, "drop"), (2, "corrupt")}
+        assert stats["corrupt_responses"] == 1
+        assert stats["remote_failures"] == 3
+
+    def test_mismatched_worker_is_excluded_permanently(self, served,
+                                                       tmp_path):
+        service, manifest = served
+        serial = self._serial(served)
+        rng = np.random.default_rng(9)
+        store = ShardStore(manifest)
+        foreign = ShardStore.save(
+            tmp_path / "foreign", rng.standard_normal(
+                (store.num_drugs, store.embed_dim)),
+            num_shards=3, catalog_digest="someone-else")
+        with ShardWorker(foreign) as bad, ShardWorker(manifest) as good:
+            service.connect_workers([bad, good], backoff_base_s=0.001)
+            try:
+                got = _hits(service.screen_batch([0, 5, 9], top_k=6))
+                states = service.remote.breaker_states()
+                stats = dict(service.remote.stats)
+            finally:
+                service.disconnect_workers()
+        assert got == serial
+        assert stats["mismatched_workers"] == 1
+        assert "mismatched" in states.values()
+
+    def test_connect_workers_requires_attached_exact_store(self, setup,
+                                                           tmp_path):
+        corpus, _, model, builder = setup
+        service = DDIScreeningService(model, builder, corpus, num_shards=2)
+        with pytest.raises(RuntimeError, match="attached shard store"):
+            service.connect_workers([("127.0.0.1", 1)])
+        manifest = service.save_shards(tmp_path / "q", quantize="int8")
+        assert service.open_shards(manifest)
+        with pytest.raises(ValueError, match="quantized"):
+            service.connect_workers([("127.0.0.1", 1)])
+
+
+# ---------------------------------------------------------------------------
+# Store integrity: checksums, quarantine, atomic writes
+# ---------------------------------------------------------------------------
+class TestStoreIntegrity:
+    def _store(self, tmp_path, n=40, shards=3):
+        rng = np.random.default_rng(0)
+        emb = rng.standard_normal((n, 6))
+        return ShardStore.save(tmp_path / "store", emb,
+                               {"emb": emb}, num_shards=shards,
+                               block_size=8)
+
+    def test_manifest_records_checksums_and_no_temp_files(self, tmp_path):
+        manifest = self._store(tmp_path)
+        store = ShardStore(manifest)
+        assert store.has_checksums
+        files = {p.name for p in manifest.parent.iterdir()}
+        assert not any(name.endswith(".tmp") for name in files)
+        assert set(store.manifest["checksums"]) == files - {"manifest.json"}
+        assert store.verify() == []
+
+    def test_corrupt_shard_detected_and_quarantined(self, tmp_path):
+        manifest = self._store(tmp_path)
+        _corrupt_file_tail(manifest.parent / "shard_00001.emb.npy")
+        store = ShardStore(manifest)
+        store.open_shard(0)                       # intact shards still open
+        with pytest.raises(ShardIntegrityError, match="CRC32"):
+            store.open_shard(1)
+        assert store.quarantined == {1}
+        fresh = ShardStore(manifest)
+        assert fresh.verify() == [1]
+        with pytest.raises(ShardIntegrityError):
+            ShardStore(manifest).verify(strict=True)
+
+    def test_verification_is_memoized_and_optional(self, tmp_path):
+        manifest = self._store(tmp_path)
+        victim = manifest.parent / "shard_00000.emb.npy"
+        unverified = ShardStore(manifest, verify_checksums=False)
+        store = ShardStore(manifest)
+        store.open_shard(0)
+        # Corruption after a shard was verified+mapped is the OS's problem;
+        # a *new* store instance re-checks and catches it.
+        _corrupt_file_tail(victim)
+        with pytest.raises(ShardIntegrityError):
+            ShardStore(manifest).open_shard(0)
+        unverified.open_shard(0)                  # opted out: no check
+
+    def test_legacy_manifest_without_checksums_still_opens(self, tmp_path):
+        import json
+        manifest = self._store(tmp_path)
+        spec = json.loads(manifest.read_text())
+        del spec["checksums"]
+        manifest.write_text(json.dumps(spec))
+        store = ShardStore(manifest)
+        assert not store.has_checksums
+        assert store.verify() == []
+        store.open_shard(0)
+
+    def test_worker_reports_quarantined_shard_as_error(self, tmp_path,
+                                                       served):
+        service, _ = served
+        manifest = self._store(tmp_path)
+        _corrupt_file_tail(manifest.parent / "shard_00002.emb.npy")
+        store = ShardStore(manifest)
+        with ShardWorker(manifest) as worker:
+            executor = RemoteShardExecutor(store, [worker], attempts=1,
+                                           timeout_s=5.0,
+                                           local_fallback=False,
+                                           validate_workers=False)
+            kernel = make_kernel("dot")
+            rng = np.random.default_rng(1)
+            proj = {"emb": rng.standard_normal((1, store.embed_dim))}
+            with pytest.raises(RemoteShardError):
+                executor.screen(kernel, proj, 1, 3)
+
+
+# ---------------------------------------------------------------------------
+# Cold boot
+# ---------------------------------------------------------------------------
+class TestColdBoot:
+    @pytest.fixture(scope="class")
+    def booted(self, setup, tmp_path_factory):
+        corpus, _, model, builder = setup
+        warm = DDIScreeningService(model, builder, corpus, num_shards=3,
+                                   block_size=16)
+        warm.register_drug("CCOCC", drug_id="late_1")
+        warm.register_drug("CCNCC", drug_id="late_2")
+        root = tmp_path_factory.mktemp("coldboot")
+        manifest = warm.save_shards(root / "store", num_shards=3)
+        context = warm.save_serving_context(root / "context")
+        cold = DDIScreeningService.from_store(manifest, context)
+        return warm, cold, manifest, context
+
+    def test_no_corpus_encode_and_bitwise_screens(self, booted):
+        warm, cold, _, _ = booted
+        assert cold.stats.corpus_encodes == 0
+        queries = [0, 7, "late_1", "late_2"]
+        assert _hits(cold.screen_batch(queries, top_k=6)) == \
+            _hits(warm.screen_batch(queries, top_k=6, parallel=False))
+        np.testing.assert_array_equal(cold.embeddings, warm.embeddings)
+        assert cold.stats.corpus_encodes == 0
+
+    def test_cold_boot_serves_remote_workers(self, booted):
+        warm, _, manifest, context = booted
+        with ShardWorker(manifest) as worker:
+            cold = DDIScreeningService.from_store(
+                manifest, context, workers=[worker])
+            try:
+                assert _hits(cold.screen_batch([0, 4], top_k=5)) == \
+                    _hits(warm.screen_batch([0, 4], top_k=5,
+                                            parallel=False))
+                assert cold.stats.remote_screens == 2
+                assert cold.stats.corpus_encodes == 0
+            finally:
+                cold.disconnect_workers()
+
+    def test_corrupt_store_fails_the_boot(self, booted, tmp_path):
+        import shutil
+        warm, _, manifest, context = booted
+        root = tmp_path / "torn"
+        shutil.copytree(manifest.parent, root)
+        _corrupt_file_tail(root / "shard_00001.emb.npy")
+        with pytest.raises(ShardIntegrityError):
+            DDIScreeningService.from_store(root, context)
+
+    def test_quantized_store_rejected(self, booted, tmp_path):
+        warm, _, _, context = booted
+        quantized = warm.save_shards(tmp_path / "int8", quantize="int8")
+        with pytest.raises(ValueError, match="quantized"):
+            DDIScreeningService.from_store(quantized, context)
+
+    def test_wrong_model_fingerprint_rejected(self, booted, tmp_path):
+        warm, _, manifest, _ = booted
+        other_corpus = _corpus(n=12, seed=99)
+        config = HyGNNConfig(parameter=4, embed_dim=12, hidden_dim=12,
+                             seed=77)
+        model, _, builder = HyGNN.for_corpus(other_corpus, config)
+        other = DDIScreeningService(model, builder, other_corpus)
+        foreign_context = other.save_serving_context(tmp_path / "foreign")
+        with pytest.raises(ValueError):
+            DDIScreeningService.from_store(manifest, foreign_context)
+
+    def test_pair_scores_and_registration_still_work(self, booted):
+        # Runs last in the class: registration grows both catalogs, so
+        # earlier store-vs-service parity tests must not see the append.
+        warm, cold, _, _ = booted
+        pairs = np.array([[0, 3], [2, warm.index_of("late_1")]])
+        np.testing.assert_array_equal(cold.score_pairs(pairs),
+                                      warm.score_pairs(pairs))
+        # New registrations encode against the adopted frozen context.
+        index = cold.register_drug("CCSCC", drug_id="after_boot")
+        expected = warm.register_drug("CCSCC", drug_id="after_boot")
+        assert index == expected
+        np.testing.assert_array_equal(cold.embeddings[index],
+                                      warm.embeddings[index])
+        assert cold.stats.corpus_encodes == 0
+
+
+# ---------------------------------------------------------------------------
+# Process-pool hardening
+# ---------------------------------------------------------------------------
+class TestExecutorHardening:
+    def _screen_args(self, setup, served):
+        _, config, model, _ = setup
+        service, manifest = served
+        kernel = make_screen_kernel(model.decoder)
+        rng = np.random.default_rng(5)
+        queries = rng.standard_normal((2, config.embed_dim))
+        proj = model.decoder.project_queries(queries, sides=("as_left",))
+        return kernel, proj
+
+    def test_killed_worker_rebuilds_pool_bitwise(self, setup, served):
+        service, manifest = served
+        kernel, proj = self._screen_args(setup, served)
+        with ParallelShardExecutor(manifest, num_workers=2) as executor:
+            expected = executor.screen(kernel, proj, 2, 5)
+            victim = next(iter(executor._pool._processes.values()))
+            os.kill(victim.pid, signal.SIGKILL)
+            time.sleep(0.1)
+            again = executor.screen(kernel, proj, 2, 5)
+            assert executor.stats["pool_rebuilds"] == 1
+            assert executor.stats["serial_fallbacks"] == 0
+        for (idx_a, sc_a), (idx_b, sc_b) in zip(expected, again):
+            np.testing.assert_array_equal(idx_a, idx_b)
+            np.testing.assert_array_equal(sc_a, sc_b)
+
+    def test_permanently_broken_pool_degrades_to_serial(self, setup, served,
+                                                        monkeypatch):
+        from concurrent.futures.process import BrokenProcessPool
+        service, manifest = served
+        kernel, proj = self._screen_args(setup, served)
+        serial = ParallelShardExecutor(manifest, num_workers=1)
+        with serial:
+            expected = serial.screen(kernel, proj, 2, 5)
+        executor = ParallelShardExecutor(manifest, num_workers=2)
+
+        class _Broken:
+            def map(self, *args, **kwargs):
+                raise BrokenProcessPool("worker army deserted")
+
+            def shutdown(self, **kwargs):
+                pass
+
+        monkeypatch.setattr(executor, "_ensure_pool", lambda: _Broken())
+        degraded = executor.screen(kernel, proj, 2, 5)
+        assert executor.stats["serial_fallbacks"] == 1
+        assert executor.stats["pool_rebuilds"] == 1
+        for (idx_a, sc_a), (idx_b, sc_b) in zip(expected, degraded):
+            np.testing.assert_array_equal(idx_a, idx_b)
+            np.testing.assert_array_equal(sc_a, sc_b)
+
+
+# ---------------------------------------------------------------------------
+# Gateway failure accounting + deadlines
+# ---------------------------------------------------------------------------
+class TestGatewayFaults:
+    @pytest.fixture
+    def service(self, setup):
+        corpus, _, model, builder = setup
+        return DDIScreeningService(model, builder, corpus)
+
+    def test_gateway_failures_counted_per_failed_request(self, service):
+        async def main():
+            async with ScreeningGateway(service, max_batch=4,
+                                        max_wait_ms=5.0) as gateway:
+                return await asyncio.gather(
+                    gateway.screen(0, top_k=3),
+                    gateway.screen(10_000, top_k=3),   # poison: bad index
+                    gateway.screen(1, top_k=3),
+                    return_exceptions=True)
+        before = service.stats.gateway_failures
+        good_a, poison, good_b = asyncio.run(main())
+        assert isinstance(poison, IndexError)
+        assert not isinstance(good_a, Exception)
+        assert not isinstance(good_b, Exception)
+        assert service.stats.gateway_failures == before + 1
+
+    def test_deadline_covers_in_flush_execution(self, service, monkeypatch):
+        real = service.screen_batch
+
+        def slow_screen_batch(*args, **kwargs):
+            time.sleep(0.08)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(service, "screen_batch", slow_screen_batch)
+        before = service.stats.gateway_expirations
+
+        async def main():
+            async with ScreeningGateway(service, max_batch=2,
+                                        max_wait_ms=0.0) as gateway:
+                return await asyncio.gather(
+                    gateway.screen(0, top_k=3, timeout_ms=20.0),
+                    gateway.screen(1, top_k=3),
+                    return_exceptions=True)
+        expired, unbounded = asyncio.run(main())
+        # The batch was scored promptly after enqueue (queue wait ~0) but
+        # scoring itself blew the 20 ms budget: the bounded request must
+        # fail, the deadline-free one still gets its (late) answer.
+        assert isinstance(expired, DeadlineExceeded)
+        assert not isinstance(unbounded, Exception)
+        assert service.stats.gateway_expirations == before + 1
+
+    def test_drain_under_failing_service_answers_everything(self, service,
+                                                            monkeypatch):
+        calls = {"n": 0}
+
+        def broken_screen_batch(*args, **kwargs):
+            calls["n"] += 1
+            raise RuntimeError("engine on fire")
+
+        monkeypatch.setattr(service, "screen_batch", broken_screen_batch)
+        before = service.stats.gateway_failures
+
+        async def main():
+            gateway = ScreeningGateway(service, max_batch=4, max_wait_ms=2.0)
+            tasks = [asyncio.ensure_future(gateway.screen(i, top_k=3))
+                     for i in range(6)]
+            await asyncio.sleep(0)      # let everything enqueue
+            await gateway.close()       # drain while the service is failing
+            return await asyncio.gather(*tasks, return_exceptions=True)
+
+        results = asyncio.run(main())
+        assert len(results) == 6
+        assert all(isinstance(r, RuntimeError) for r in results)
+        assert service.stats.gateway_failures == before + 6
+        assert calls["n"] >= 6          # group call + per-request isolation
