@@ -16,9 +16,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..core.attention import fused_kernels_enabled
 from ..graphs import Graph, gcn_normalized_adjacency, row_normalized_adjacency
 from ..nn import Linear, Module, Tensor, init
 from ..nn import functional as F
+from ..nn.functional import SegmentPartition
 
 
 class GCNLayer(Module):
@@ -31,7 +33,19 @@ class GCNLayer(Module):
 
 
 class GATLayer(Module):
-    """Single-head graph attention with self-loops."""
+    """Single-head graph attention with self-loops.
+
+    Runs on the fused segment kernels by default — the additive GAT score
+    ``a_src[src] + a_dst[dst]`` is expressed as the two-column bilinear form
+    ``[a_src, 1] · [1, a_dst]`` so :func:`repro.nn.functional
+    .incidence_scores` (with its folded LeakyReLU) and
+    :func:`repro.nn.functional.segment_attend` stream the edge list
+    blockwise exactly like the HyGNN encoder.  Multiplying by the constant
+    1.0 columns is exact in IEEE-754 and the kernels preserve summation
+    order, so fused outputs and gradients are bitwise-identical to the
+    unfused composition (toggle via :func:`repro.core.attention
+    .fused_kernels`, which also selects the reference path here).
+    """
 
     def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator,
                  negative_slope: float = 0.2):
@@ -40,21 +54,53 @@ class GATLayer(Module):
         self.attn_src = init.xavier_uniform((out_dim,), rng)
         self.attn_dst = init.xavier_uniform((out_dim,), rng)
         self.negative_slope = negative_slope
+        self._ones: dict[int, Tensor] = {}
 
-    def forward(self, edge_index: np.ndarray, num_nodes: int,
-                x: Tensor) -> Tensor:
-        """``edge_index`` is (2, E) directed (both directions + self loops)."""
+    def _ones_column(self, num_nodes: int) -> Tensor:
+        column = self._ones.get(num_nodes)
+        if column is None:
+            column = Tensor(np.ones((num_nodes, 1)))
+            self._ones[num_nodes] = column
+        return column
+
+    def forward(self, edge_index: np.ndarray, num_nodes: int, x: Tensor,
+                partitions: tuple[SegmentPartition,
+                                  SegmentPartition] | None = None) -> Tensor:
+        """``edge_index`` is (2, E) directed (both directions + self loops).
+
+        ``partitions`` is the optional ``(dst_partition, src_partition)``
+        pair grouping the edge list by destination (the softmax segments)
+        and source (the backward-scatter grouping); ``GraphEncoder``
+        precomputes both once per graph.
+        """
         h = self.linear(x)                                     # (N, out)
         src, dst = edge_index[0], edge_index[1]
+        dst_part = src_part = None
+        if partitions is not None:
+            dst_part, src_part = partitions
         alpha_src = (h * self.attn_src).sum(axis=1)            # (N,)
         alpha_dst = (h * self.attn_dst).sum(axis=1)
+        if fused_kernels_enabled():
+            ones = self._ones_column(num_nodes)
+            keys = F.concat([alpha_src.reshape(-1, 1), ones], axis=1)
+            queries = F.concat([ones, alpha_dst.reshape(-1, 1)], axis=1)
+            scores = F.incidence_scores(keys, queries, src, dst,
+                                        key_partition=src_part,
+                                        query_partition=dst_part,
+                                        negative_slope=self.negative_slope)
+            attention = F.segment_softmax(scores, dst, num_nodes,
+                                          partition=dst_part)
+            return F.segment_attend(attention, h, src, dst, num_nodes,
+                                    partition=dst_part,
+                                    value_partition=src_part)
         scores = F.leaky_relu(
             F.gather_rows(alpha_src.reshape(-1, 1), src).reshape(len(src))
             + F.gather_rows(alpha_dst.reshape(-1, 1), dst).reshape(len(dst)),
             self.negative_slope)
-        attention = F.segment_softmax(scores, dst, num_nodes)
+        attention = F.segment_softmax(scores, dst, num_nodes,
+                                      partition=dst_part)
         messages = F.gather_rows(h, src) * attention.reshape(-1, 1)
-        return F.segment_sum(messages, dst, num_nodes)
+        return F.segment_sum(messages, dst, num_nodes, partition=dst_part)
 
     @staticmethod
     def directed_edge_index(graph: Graph) -> np.ndarray:
@@ -102,11 +148,19 @@ class GraphEncoder(Module):
             self.layer1 = GATLayer(dim, dim, rng)
             self.layer2 = GATLayer(dim, dim, rng)
             self._operator = GATLayer.directed_edge_index(graph)
+            # Cached edge-list partitions, shared by both layers and every
+            # epoch: dst groups the attention softmax segments, src the
+            # fused backward scatter.
+            self._partitions = (
+                SegmentPartition(self._operator[1], graph.num_nodes),
+                SegmentPartition(self._operator[0], graph.num_nodes))
 
     def forward(self) -> Tensor:
         x = self.features
         if self.model == "gat":
-            h = F.elu(self.layer1(self._operator, self.graph.num_nodes, x))
-            return self.layer2(self._operator, self.graph.num_nodes, h)
+            h = F.elu(self.layer1(self._operator, self.graph.num_nodes, x,
+                                  partitions=self._partitions))
+            return self.layer2(self._operator, self.graph.num_nodes, h,
+                               partitions=self._partitions)
         h = F.relu(self.layer1(self._operator, x))
         return self.layer2(self._operator, h)

@@ -5,7 +5,8 @@ from .attention import (HyperedgeLevelAttention, NodeLevelAttention,
                         fused_kernels, fused_kernels_enabled)
 from .config import PAPER_GRID, HyGNNConfig
 from .decoder import DotDecoder, MLPDecoder, make_decoder
-from .encoder import EncoderContext, HyGNNEncoder
+from .encoder import (EncoderContext, HyGNNEncoder,
+                      ReversibleHyGNNEncoder)
 from .model import HyGNN
 from .search import SearchResult, grid_configs, grid_search, paper_grid
 from .serialize import load_model, save_model
@@ -16,7 +17,7 @@ __all__ = [
     "fused_kernels", "fused_kernels_enabled",
     "HyGNNConfig", "PAPER_GRID",
     "MLPDecoder", "DotDecoder", "make_decoder",
-    "HyGNNEncoder", "EncoderContext", "HyGNN",
+    "HyGNNEncoder", "ReversibleHyGNNEncoder", "EncoderContext", "HyGNN",
     "Trainer", "TrainingHistory", "train_hygnn",
     "grid_search", "grid_configs", "paper_grid", "SearchResult",
     "save_model", "load_model",

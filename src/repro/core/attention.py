@@ -98,23 +98,57 @@ def _attend(attention: Tensor, transformed: Tensor, value_ids: np.ndarray,
                          partition=partition)
 
 
+def _head_slices(num_heads: int, attention_dim: int, out_dim: int
+                 ) -> list[tuple[slice, slice]]:
+    """Per-head (attention-column, output-column) slices."""
+    a_width = attention_dim // num_heads
+    o_width = out_dim // num_heads
+    return [(slice(h * a_width, (h + 1) * a_width),
+             slice(h * o_width, (h + 1) * o_width))
+            for h in range(num_heads)]
+
+
+def _check_heads(num_heads: int, attention_dim: int, out_dim: int) -> None:
+    if num_heads < 1:
+        raise ValueError("num_heads must be positive")
+    if num_heads > 1 and (out_dim % num_heads or attention_dim % num_heads):
+        raise ValueError(
+            f"num_heads={num_heads} must divide out_dim={out_dim} and "
+            f"attention_dim={attention_dim}")
+
+
 class HyperedgeLevelAttention(Module):
     """Eq. (4)-(6): aggregate hyperedge features into node features.
 
     ``p_i = α( Σ_{e_j ∋ v_i} Y_ij · W1 q_j )`` with attention coefficients
     ``Y_ij = softmax_j( β(W2 q_j ∗ W3 p_i) )`` normalised over the
     hyperedges ``E_i`` incident to node *i*.
+
+    With ``num_heads > 1`` the projection columns are split into equal-width
+    heads, each scoring and aggregating independently through the same fused
+    kernels (GAT-style multi-head), and the concatenated heads pass through
+    a shared output projection.  ``num_heads=1`` is exactly the original
+    single-head computation — same parameters, same RNG draws, same ops.
     """
 
     def __init__(self, node_dim: int, edge_dim: int, out_dim: int,
                  rng: np.random.Generator, attention_dim: int | None = None,
-                 negative_slope: float = 0.2):
+                 negative_slope: float = 0.2, num_heads: int = 1):
         super().__init__()
         attention_dim = attention_dim or out_dim
+        _check_heads(num_heads, attention_dim, out_dim)
         self.w1 = Linear(edge_dim, out_dim, rng, bias=False)
         self.w2 = Linear(edge_dim, attention_dim, rng, bias=False)
         self.w3 = Linear(node_dim, attention_dim, rng, bias=False)
         self.negative_slope = negative_slope
+        self.num_heads = num_heads
+        self.attention_dim = attention_dim
+        self.out_dim = out_dim
+        # Head-concat projection, drawn only for the multi-head variant so
+        # single-head construction consumes exactly the historical RNG
+        # stream (bitwise weight parity with earlier checkpoints).
+        if num_heads > 1:
+            self.head_proj = Linear(out_dim, out_dim, rng, bias=False)
 
     def forward(self, node_feats: Tensor, edge_feats: Tensor,
                 node_ids: np.ndarray, edge_ids: np.ndarray,
@@ -127,16 +161,31 @@ class HyperedgeLevelAttention(Module):
         transformed = self.w1(edge_feats)                    # (E, out)
         keys = self.w2(edge_feats)                           # (E, a)
         queries = self.w3(node_feats)                        # (V, a)
-        # Eq. (6): β-activated score per incidence entry, grouped by node.
-        scores = _incidence_scores(keys, queries, edge_ids, node_ids,
-                                   edge_partition, node_partition,
-                                   self.negative_slope)
-        # Eq. (5): softmax over the hyperedges containing each node.
-        attention = F.segment_softmax(scores, node_ids, num_nodes,
-                                      partition=node_partition)
-        # Eq. (4): attention-weighted sum of transformed hyperedge features.
-        aggregated = _attend(attention, transformed, edge_ids, node_ids,
-                             num_nodes, node_partition, edge_partition)
+        if self.num_heads == 1:
+            # Eq. (6): β-activated score per incidence, grouped by node.
+            scores = _incidence_scores(keys, queries, edge_ids, node_ids,
+                                       edge_partition, node_partition,
+                                       self.negative_slope)
+            # Eq. (5): softmax over the hyperedges containing each node.
+            attention = F.segment_softmax(scores, node_ids, num_nodes,
+                                          partition=node_partition)
+            # Eq. (4): attention-weighted sum of transformed edge features.
+            aggregated = _attend(attention, transformed, edge_ids, node_ids,
+                                 num_nodes, node_partition, edge_partition)
+        else:
+            heads = []
+            for a_cols, o_cols in _head_slices(self.num_heads,
+                                               self.attention_dim,
+                                               self.out_dim):
+                scores = _incidence_scores(
+                    keys[:, a_cols], queries[:, a_cols], edge_ids, node_ids,
+                    edge_partition, node_partition, self.negative_slope)
+                attention = F.segment_softmax(scores, node_ids, num_nodes,
+                                              partition=node_partition)
+                heads.append(_attend(attention, transformed[:, o_cols],
+                                     edge_ids, node_ids, num_nodes,
+                                     node_partition, edge_partition))
+            aggregated = self.head_proj(F.concat(heads, axis=1))
         return F.leaky_relu(aggregated, self.negative_slope)
 
 
@@ -150,20 +199,29 @@ class NodeLevelAttention(Module):
 
     def __init__(self, node_dim: int, edge_dim: int, out_dim: int,
                  rng: np.random.Generator, attention_dim: int | None = None,
-                 negative_slope: float = 0.2):
+                 negative_slope: float = 0.2, num_heads: int = 1):
         super().__init__()
         attention_dim = attention_dim or out_dim
+        _check_heads(num_heads, attention_dim, out_dim)
         self.w4 = Linear(node_dim, out_dim, rng, bias=False)
         self.w5 = Linear(node_dim, attention_dim, rng, bias=False)
         self.w6 = Linear(edge_dim, attention_dim, rng, bias=False)
         self.negative_slope = negative_slope
+        self.num_heads = num_heads
+        self.attention_dim = attention_dim
+        self.out_dim = out_dim
+        if num_heads > 1:
+            self.head_proj = Linear(out_dim, out_dim, rng, bias=False)
 
     def _scores(self, node_feats: Tensor, edge_feats: Tensor,
                 node_ids: np.ndarray, edge_ids: np.ndarray,
                 edge_partition: SegmentPartition | None,
-                node_partition: SegmentPartition | None) -> Tensor:
+                node_partition: SegmentPartition | None,
+                a_cols: slice | None = None) -> Tensor:
         keys = self.w5(node_feats)                           # (V, a)
         queries = self.w6(edge_feats)                        # (E, a)
+        if a_cols is not None:
+            keys, queries = keys[:, a_cols], queries[:, a_cols]
         # Eq. (9): β-activated score per incidence entry, grouped by edge.
         return _incidence_scores(keys, queries, node_ids, edge_ids,
                                  node_partition, edge_partition,
@@ -178,14 +236,29 @@ class NodeLevelAttention(Module):
         up the backward scatter."""
         num_edges = edge_feats.shape[0]
         transformed = self.w4(node_feats)                    # (V, out)
-        scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
-                              edge_partition, node_partition)
-        # Eq. (8): softmax over the nodes inside each hyperedge.
-        attention = F.segment_softmax(scores, edge_ids, num_edges,
-                                      partition=edge_partition)
-        # Eq. (7): attention-weighted sum of transformed node features.
-        aggregated = _attend(attention, transformed, node_ids, edge_ids,
-                             num_edges, edge_partition, node_partition)
+        if self.num_heads == 1:
+            scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
+                                  edge_partition, node_partition)
+            # Eq. (8): softmax over the nodes inside each hyperedge.
+            attention = F.segment_softmax(scores, edge_ids, num_edges,
+                                          partition=edge_partition)
+            # Eq. (7): attention-weighted sum of transformed node features.
+            aggregated = _attend(attention, transformed, node_ids, edge_ids,
+                                 num_edges, edge_partition, node_partition)
+        else:
+            heads = []
+            for a_cols, o_cols in _head_slices(self.num_heads,
+                                               self.attention_dim,
+                                               self.out_dim):
+                scores = self._scores(node_feats, edge_feats, node_ids,
+                                      edge_ids, edge_partition,
+                                      node_partition, a_cols=a_cols)
+                attention = F.segment_softmax(scores, edge_ids, num_edges,
+                                              partition=edge_partition)
+                heads.append(_attend(attention, transformed[:, o_cols],
+                                     node_ids, edge_ids, num_edges,
+                                     edge_partition, node_partition))
+            aggregated = self.head_proj(F.concat(heads, axis=1))
         return F.leaky_relu(aggregated, self.negative_slope)
 
     def attention_weights(self, node_feats: Tensor, edge_feats: Tensor,
@@ -193,8 +266,24 @@ class NodeLevelAttention(Module):
                           edge_partition: SegmentPartition | None = None,
                           node_partition: SegmentPartition | None = None
                           ) -> np.ndarray:
-        """Expose X_ji per incidence entry (for substructure importance)."""
-        scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
-                              edge_partition, node_partition)
-        return F.segment_softmax(scores, edge_ids, edge_feats.shape[0],
-                                 partition=edge_partition).numpy()
+        """Expose X_ji per incidence entry (for substructure importance).
+
+        Multi-head layers report the mean coefficient across heads — one
+        importance weight per incidence entry either way.
+        """
+        num_edges = edge_feats.shape[0]
+        if self.num_heads == 1:
+            scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
+                                  edge_partition, node_partition)
+            return F.segment_softmax(scores, edge_ids, num_edges,
+                                     partition=edge_partition).numpy()
+        per_head = []
+        for a_cols, _ in _head_slices(self.num_heads, self.attention_dim,
+                                      self.out_dim):
+            scores = self._scores(node_feats, edge_feats, node_ids, edge_ids,
+                                  edge_partition, node_partition,
+                                  a_cols=a_cols)
+            per_head.append(F.segment_softmax(
+                scores, edge_ids, num_edges,
+                partition=edge_partition).numpy())
+        return np.mean(per_head, axis=0)

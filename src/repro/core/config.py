@@ -23,6 +23,11 @@ class HyGNNConfig:
     embed_dim: int = 64             # substructure embedding size
     hidden_dim: int = 64            # drug embedding size d'
     num_layers: int = 1             # encoder layers (paper: 1)
+    num_heads: int = 1              # attention heads per level (1 = paper)
+    # ``reversible`` swaps the encoder for ReversibleHyGNNEncoder: coupled
+    # residual attention halves trained with recompute-in-backward
+    # checkpointing, so activation memory stays O(1) in num_layers.
+    reversible: bool = False
     dropout: float = 0.1
     learning_rate: float = 5e-3
     weight_decay: float = 1e-3
@@ -36,6 +41,13 @@ class HyGNNConfig:
     # bounds decoder memory at O(batch) instead of O(all train pairs).
     batch_size: int | None = None
     compiled: bool = True
+    # Per-batch optimizer stepping (requires ``batch_size``): the decoder
+    # steps on every mini-batch against a snapshot of the encoder's
+    # embeddings, and the encoder catches up (one tape backward + step +
+    # snapshot refresh) every ``snapshot_staleness`` batches instead of
+    # once per epoch.
+    step_per_batch: bool = False
+    snapshot_staleness: int = 8
 
     def __post_init__(self):
         if self.method not in ("espf", "kmer"):
@@ -51,6 +63,20 @@ class HyGNNConfig:
         if self.batch_size is not None and self.batch_size < 1:
             raise ValueError("batch_size must be positive (or None for "
                              "full-batch training)")
+        if self.num_heads < 1:
+            raise ValueError("num_heads must be positive")
+        head_width = self.hidden_dim // 2 if self.reversible else self.hidden_dim
+        if self.num_heads > 1 and head_width % self.num_heads:
+            raise ValueError(
+                f"num_heads={self.num_heads} must divide the attention "
+                f"width {head_width}")
+        if self.reversible and self.hidden_dim % 2:
+            raise ValueError("reversible=True requires an even hidden_dim "
+                             "(coupled residual halves)")
+        if self.step_per_batch and self.batch_size is None:
+            raise ValueError("step_per_batch requires batch_size")
+        if self.snapshot_staleness < 1:
+            raise ValueError("snapshot_staleness must be positive")
 
     def with_updates(self, **kwargs) -> "HyGNNConfig":
         return replace(self, **kwargs)

@@ -9,7 +9,7 @@ from ..nn import Module, Tape, Tensor, bce_with_logits
 from ..nn import functional as F
 from .config import HyGNNConfig
 from .decoder import make_decoder
-from .encoder import HyGNNEncoder
+from .encoder import HyGNNEncoder, ReversibleHyGNNEncoder
 
 
 class HyGNN(Module):
@@ -19,13 +19,16 @@ class HyGNN(Module):
         super().__init__()
         self.config = config
         rng = np.random.default_rng(config.seed)
-        self.encoder = HyGNNEncoder(
+        encoder_cls = (ReversibleHyGNNEncoder if config.reversible
+                       else HyGNNEncoder)
+        self.encoder = encoder_cls(
             num_substructures=num_substructures,
             embed_dim=config.embed_dim,
             hidden_dim=config.hidden_dim,
             rng=rng,
             num_layers=config.num_layers,
             dropout=config.dropout,
+            num_heads=config.num_heads,
         )
         self.decoder = make_decoder(config.decoder, config.hidden_dim,
                                     config.hidden_dim, rng)

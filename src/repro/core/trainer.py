@@ -26,6 +26,15 @@ Three training pipelines share that loop:
   in one pass — so the single Adam step per epoch applies exactly the
   full-batch mean-BCE gradient (up to float summation order) while decoder
   memory stays O(batch) instead of O(all train pairs).
+- **per-batch stepping** (``config.step_per_batch``, requires
+  ``batch_size``): the decoder takes a full Adam step on every mini-batch
+  against a *snapshot* of the embeddings, while encoder gradients accumulate
+  in the embedding leaf; every ``config.snapshot_staleness`` batches the
+  encoder catches up with one tape backward + Adam step + snapshot refresh.
+  Pairs with the reversible encoder (``config.reversible``), whose taped
+  backward recomputes activations block by block — deep-encoder epochs then
+  run at O(1) activation memory in depth
+  (``benchmarks/bench_training_memory.py``).
 - **eager** (``compiled=False``): the original closure-graph loop, kept as
   the reference implementation and the benchmark baseline
   (``benchmarks/bench_training.py``).
@@ -154,6 +163,8 @@ class Trainer:
 
         self.model.train()
         batch_size = config.batch_size
+        step_per_batch = config.step_per_batch
+        dec_opt = enc_opt = None
         if batch_size is None:
             # Record the whole epoch graph (this is also epoch 0's forward).
             tape, embeddings = self.model.compile_training(
@@ -164,6 +175,15 @@ class Trainer:
             embeddings = tape.root
             emb_leaf = Tensor(embeddings.data, requires_grad=True)
             batch_rng = np.random.default_rng(config.seed + 1)
+            if step_per_batch:
+                # Split optimizers: the decoder steps on every batch, the
+                # encoder catches up at the staleness bound.
+                dec_opt = Adam(self.model.decoder.parameters(),
+                               lr=config.learning_rate,
+                               weight_decay=config.weight_decay)
+                enc_opt = Adam(self.model.encoder.parameters(),
+                               lr=config.learning_rate,
+                               weight_decay=config.weight_decay)
 
         # Validation scores pairs from the epoch's cached embeddings via a
         # decoder-only tape — `val_leaf` is rebound to the fresh embedding
@@ -174,21 +194,28 @@ class Trainer:
                 self.model.score_pairs(val_leaf, val_pairs), val_labels))
 
         for epoch in range(config.epochs):
-            self.optimizer.zero_grad()
-            if batch_size is None:
-                train_loss = tape.root.item()
-                tape.backward()
-            else:
-                train_loss = self._minibatch_epoch(
+            if step_per_batch:
+                # Per-batch stepping refreshes the snapshot itself at each
+                # staleness sync (the last one covers validation below).
+                train_loss = self._perbatch_epoch(
                     tape, emb_leaf, train_pairs, train_labels,
-                    batch_rng, batch_size)
-            self.optimizer.step()
+                    batch_rng, batch_size, dec_opt, enc_opt,
+                    config.snapshot_staleness)
+            else:
+                self.optimizer.zero_grad()
+                if batch_size is None:
+                    train_loss = tape.root.item()
+                    tape.backward()
+                else:
+                    train_loss = self._minibatch_epoch(
+                        tape, emb_leaf, train_pairs, train_labels,
+                        batch_rng, batch_size)
+                self.optimizer.step()
+                # The next epoch's forward doubles as the post-step
+                # embedding refresh the validation loss needs: one encode
+                # per epoch total (the eager loop pays two).
+                tape.forward()
             history.train_loss.append(train_loss)
-
-            # The next epoch's forward doubles as the post-step embedding
-            # refresh the validation loss needs: one encode per epoch total
-            # (the eager loop pays two).
-            tape.forward()
             val_loss = val_tape.forward({val_leaf: embeddings.data}).item()
             if stopper.update(epoch, val_loss, history):
                 break
@@ -226,6 +253,56 @@ class Trainer:
         if emb_leaf.grad is not None:
             encoder_tape.backward(grad=emb_leaf.grad)
         return total / max(n, 1)
+
+    def _perbatch_epoch(self, encoder_tape: Tape, emb_leaf: Tensor,
+                        train_pairs: np.ndarray, train_labels: np.ndarray,
+                        batch_rng: np.random.Generator, batch_size: int,
+                        dec_opt: Adam, enc_opt: Adam,
+                        staleness: int) -> float:
+        """One epoch of per-batch stepping against a bounded-staleness snapshot.
+
+        Every shuffled mini-batch takes a full decoder Adam step against the
+        current embedding snapshot (``emb_leaf``), while the encoder-side
+        gradients accumulate in the leaf.  Every ``staleness`` batches the
+        encoder catches up: one tape backward over the accumulated embedding
+        gradient, one encoder Adam step, and a snapshot refresh (a fresh
+        corpus encode).  The decoder therefore sees at most
+        ``staleness``-batch-old embeddings, and with the reversible encoder
+        the tape backward runs at O(1) activation memory in depth.
+        """
+        emb_leaf.data = encoder_tape.root.data
+        emb_leaf.grad = None
+        n = len(train_pairs)
+        order = batch_rng.permutation(n)
+        total = 0.0
+        since_sync = 0
+        for start in range(0, n, batch_size):
+            chunk = order[start:start + batch_size]
+            dec_opt.zero_grad()
+            logits = self.model.score_pairs(emb_leaf, train_pairs[chunk])
+            batch_loss = bce_with_logits(logits, train_labels[chunk])
+            batch_loss.backward()
+            dec_opt.step()
+            total += batch_loss.item() * len(chunk)
+            since_sync += 1
+            if since_sync >= staleness:
+                self._sync_encoder(encoder_tape, emb_leaf, enc_opt)
+                since_sync = 0
+        if since_sync:
+            self._sync_encoder(encoder_tape, emb_leaf, enc_opt)
+        return total / max(n, 1)
+
+    def _sync_encoder(self, encoder_tape: Tape, emb_leaf: Tensor,
+                      enc_opt: Adam) -> None:
+        """Flush accumulated embedding gradients into one encoder step and
+        refresh the snapshot the decoder batches score against."""
+        if emb_leaf.grad is None:
+            return
+        encoder_tape.backward(grad=emb_leaf.grad)
+        enc_opt.step()
+        encoder_tape.forward()
+        emb_leaf.data = encoder_tape.root.data
+        emb_leaf.grad = None
 
     # ------------------------------------------------------------------
     # Eager reference pipeline (the original closure-graph loop)

@@ -24,6 +24,7 @@ import numpy as np
 import scipy.sparse as sp
 
 from .tensor import (DEFAULT_DTYPE, Tensor, apply_op, ctx_buffer, ctx_zeros,
+                     grads_suspended, tape_shield, topological_order,
                      unbroadcast)
 
 
@@ -835,3 +836,134 @@ def clip(x: Tensor, low: float, high: float) -> Tensor:
     """Clamp values; gradient is passed through only inside the interval."""
     return apply_op("clip", (x,), _clip_forward, _clip_backward,
                     ctx={"low": low, "high": high})
+
+
+# ---------------------------------------------------------------------------
+# Recompute-in-backward checkpointing (memory-lean deep training)
+# ---------------------------------------------------------------------------
+
+def _checkpoint_input_freed(ctx, x_data) -> bool:
+    return x_data.size == 0 and ctx["input_size"] != 0
+
+
+def _invertible_checkpoint_forward(ctx, x_data, *param_datas, out=None):
+    """Run the wrapped subgraph as a pure value computation, then free x.
+
+    The subgraph is executed with every captured tensor's ``requires_grad``
+    suspended and a tape shield in place, so no closure graph is built and
+    no inner op reaches an enclosing tape — the checkpoint is one opaque
+    node.  When ``free_input`` is set the input activation is replaced with
+    a zero-size placeholder; backward reconstructs it via ``fn_inverse``.
+    """
+    fn = ctx["fn"]
+    captured = ctx["captured"]
+    with tape_shield(), grads_suspended(captured):
+        result = fn(Tensor(x_data))
+    if not isinstance(result, Tensor):
+        raise TypeError("invertible_checkpoint fn must return a Tensor")
+    if ctx["free_input"]:
+        holder = ctx["input_ref"]
+        holder.data = np.empty(0, dtype=x_data.dtype)
+    return result.data
+
+
+def _release_recompute_graph(root: Tensor, protect: set[int]) -> None:
+    """Dismantle a transient eager graph so refcounting frees it promptly.
+
+    Every grad-carrying node holds a ``_backward`` closure that refers back
+    to the node — a reference cycle only the garbage collector would break.
+    Chained checkpoint backwards would therefore stack every block's
+    recompute scratch until a collection ran, defeating the O(1)-in-depth
+    memory claim; clearing the closures and parent links here makes each
+    block's graph die the moment its backward returns.  Externally owned
+    tensors (the captured params, which belong to the outer graph) are
+    protected.
+    """
+    for node in topological_order(root):
+        if id(node) in protect:
+            continue
+        node._backward = None
+        node._parents = ()
+        node.grad = None
+
+
+def _invertible_checkpoint_backward(ctx, out, x, *params):
+    fn, fn_inverse = ctx["fn"], ctx["fn_inverse"]
+    captured = ctx["captured"]
+    if _checkpoint_input_freed(ctx, x.data):
+        # Reconstruct the freed input from the output (reversible blocks)
+        # and restore it so upstream backward functions see valid data.
+        with tape_shield(), grads_suspended(captured):
+            x_data = fn_inverse(Tensor(out.data)).numpy()
+        if x_data.shape != ctx["input_shape"]:
+            raise ValueError(
+                f"fn_inverse produced shape {x_data.shape}, expected the "
+                f"recorded input shape {ctx['input_shape']}")
+        x.data = np.ascontiguousarray(x_data, dtype=out.data.dtype)
+    # Re-run the subgraph with gradients enabled on an isolated leaf, then
+    # backpropagate the output gradient through the transient inner graph.
+    # Captured tensors' existing grads are parked so the inner backward's
+    # contributions can be collected cleanly and returned to apply_op,
+    # which accumulates them into the outer graph exactly once.
+    with tape_shield():
+        x_leaf = Tensor(x.data, requires_grad=x.requires_grad)
+        parked = [(p, p.grad) for p in captured]
+        for p in captured:
+            p.grad = None
+        try:
+            y = fn(x_leaf)
+            y.backward(out.grad)
+            grads = tuple(p.grad for p in params)
+        finally:
+            for p, saved in parked:
+                p.grad = saved
+    x_grad = x_leaf.grad if x.requires_grad else None
+    _release_recompute_graph(y, {id(t) for t in captured})
+    return (x_grad,) + grads
+
+
+def invertible_checkpoint(fn, fn_inverse, x: Tensor,
+                          params: tuple = (), *,
+                          free_input: bool = True,
+                          op: str = "invertible_checkpoint") -> Tensor:
+    """Apply ``fn`` to ``x`` without storing the subgraph's activations.
+
+    The recompute-in-backward op pair (after DGL's ``InvertibleCheckpoint``
+    for grouped reversible residual blocks): forward evaluates ``fn`` as a
+    plain value computation and — when ``free_input`` is set and ``x`` is an
+    intermediate — frees ``x``'s activation, keeping only the inversion
+    closure in ``ctx``.  Backward calls ``fn_inverse(output)`` to
+    reconstruct the input, restores it for upstream ops, re-runs ``fn`` with
+    gradients enabled, and returns the input/parameter gradients.  Chained
+    checkpoints therefore hold O(1) activations in chain depth.
+
+    ``params`` must list every tensor ``fn`` reads besides ``x`` (layer
+    weights and captured activations such as the attention stem); they
+    become parents of the output so their gradients flow, and their
+    ``requires_grad`` is suspended during the no-grad passes.  ``fn`` must
+    be deterministic given current tensor values (no RNG draws), and the
+    checkpoint must be ``x``'s only consumer when ``free_input`` is set.
+    Leaf tensors are never freed — their data is user-owned.
+
+    The op follows the registry contract, marks itself ``tape_transient``,
+    and is fully replayable: under a :class:`repro.nn.Tape` the output gets
+    no pinned buffer and replay frees activation and gradient as soon as
+    backward is done with them.
+    """
+    params = tuple(params)
+    for p in params:
+        if not isinstance(p, Tensor):
+            raise TypeError("params must be Tensors consumed by fn")
+    ctx = {
+        "fn": fn,
+        "fn_inverse": fn_inverse,
+        "captured": params,
+        "input_ref": x,
+        "input_shape": x.data.shape,
+        "input_size": x.data.size,
+        # Never free a leaf: its array is user/optimizer-owned state.
+        "free_input": bool(free_input) and bool(x._parents),
+        "tape_transient": True,
+    }
+    return apply_op(op, (x,) + params, _invertible_checkpoint_forward,
+                    _invertible_checkpoint_backward, ctx=ctx)

@@ -55,8 +55,14 @@ class TapeNode:
         # The node's output array doubles as the replay destination buffer
         # whenever it owns its memory; view-producing ops (reshape,
         # transpose) rebuild their cheap views on every replay instead.
+        # Transient ops (the recompute-in-backward checkpoint) opt out: a
+        # pinned buffer would defeat the memory they exist to release.
         data = out.data
-        self.buffer = data if data.base is None and data.flags.owndata else None
+        if ctx.get("tape_transient"):
+            self.buffer = None
+        else:
+            self.buffer = (data if data.base is None and data.flags.owndata
+                           else None)
 
 
 class Tape:
@@ -68,6 +74,9 @@ class Tape:
         self.leaves: list[Tensor] = []
         self._order: list[Tensor] = []
         self._grad_slots: list[tuple[Tensor, np.ndarray]] | None = None
+        self._transient: list[Tensor] = []
+        self._transient_ids: set[int] = set()
+        self._leaf_consumers: dict[int, str] = {}
 
     # ------------------------------------------------------------------
     # Recording
@@ -114,6 +123,18 @@ class Tape:
                     f"was not routed through apply_op; it cannot be replayed")
         self.leaves = [t for t in self._order
                        if not t._parents and t.requires_grad]
+        # Transient outputs (recompute-in-backward checkpoints) have no
+        # persistent activation or gradient storage: replay frees both as
+        # soon as the backward pass is done with them.
+        self._transient = [node.out for node in self.nodes
+                           if node.ctx.get("tape_transient")]
+        self._transient_ids = {id(t) for t in self._transient}
+        # Remember which op first consumes each leaf so shape errors on
+        # rebinding can name the kernel that would have received the value.
+        self._leaf_consumers = {}
+        for node in self.nodes:
+            for parent in node.parents:
+                self._leaf_consumers.setdefault(id(parent), node.out.op)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,9 +158,11 @@ class Tape:
                 raise KeyError(f"{tensor!r} is not a leaf of this tape")
             value = _as_array(value)
             if value.shape != tensor.data.shape:
+                consumer = self._leaf_consumers.get(id(tensor), "<root>")
                 raise ValueError(
                     f"leaf value shape {value.shape} != recorded shape "
-                    f"{tensor.data.shape}; tape topology is static")
+                    f"{tensor.data.shape} for the leaf feeding op "
+                    f"{consumer!r}; tape topology is static")
             tensor.data = value
 
     def forward(self, leaf_values: Mapping[Tensor, np.ndarray] | None = None
@@ -184,15 +207,31 @@ class Tape:
                 raise ValueError(f"gradient shape {grad.shape} != root "
                                  f"shape {root.data.shape}")
         if self._grad_slots is None:
+            # Transient tensors get no persistent slot: their shapes may be
+            # freed placeholders between replays, and pinning a grad buffer
+            # would reinstate exactly the O(depth) memory the checkpoint op
+            # removes.  ``_accumulate`` allocates for them on demand.
             self._grad_slots = [(t, np.empty_like(t.data))
-                                for t in self._order if t.requires_grad]
+                                for t in self._order
+                                if t.requires_grad
+                                and id(t) not in self._transient_ids]
         for tensor, buf in self._grad_slots:
             buf.fill(0)
             tensor.grad = buf
+        for tensor in self._transient:
+            tensor.grad = None
         root._accumulate(grad)
+        transient_ids = self._transient_ids
         for tensor in reversed(self._order):
             if tensor._backward is not None and tensor.grad is not None:
                 tensor._backward()
+                if id(tensor) in transient_ids:
+                    # Nothing upstream reads a transient activation or its
+                    # gradient once its backward has run (the checkpoint op
+                    # restored its parents' data itself); release both so
+                    # peak memory stays O(1) in the chain length.
+                    tensor.grad = None
+                    tensor.data = np.empty(0, dtype=tensor.data.dtype)
 
     def replay(self, leaf_values: Mapping[Tensor, np.ndarray] | None = None,
                grad: np.ndarray | None = None) -> Tensor:

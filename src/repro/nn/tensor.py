@@ -30,6 +30,7 @@ paying allocation and page-zeroing costs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
@@ -39,6 +40,51 @@ DEFAULT_DTYPE = np.float64
 # Stack of actively recording tapes (see repro.nn.tape).  apply_op notifies
 # the innermost tape of every differentiable node it creates.
 _TAPE_STACK: list = []
+
+
+class _NullTape:
+    """A tape that discards every note it receives.
+
+    Pushed onto ``_TAPE_STACK`` by :func:`tape_shield` so that ops executed
+    inside a shielded region (the checkpoint op's recompute subgraphs) are
+    never recorded onto an enclosing :class:`repro.nn.tape.Tape` — the
+    enclosing tape sees the checkpoint op as a single opaque node.
+    """
+
+    def _note(self, out, parents, forward_fn, ctx) -> None:
+        pass
+
+
+_NULL_TAPE = _NullTape()
+
+
+@contextmanager
+def tape_shield():
+    """Hide ops executed in this block from any actively recording tape."""
+    _TAPE_STACK.append(_NULL_TAPE)
+    try:
+        yield
+    finally:
+        _TAPE_STACK.pop()
+
+
+@contextmanager
+def grads_suspended(tensors: Sequence["Tensor"]):
+    """Temporarily clear ``requires_grad`` on ``tensors``.
+
+    Used by the checkpoint op's forward so the wrapped subgraph runs as a
+    pure value computation: no closure graph is built through the suspended
+    parameters and nothing is noted onto a recording tape (``apply_op``
+    skips both when no parent requires grad).
+    """
+    flags = [t.requires_grad for t in tensors]
+    for t in tensors:
+        t.requires_grad = False
+    try:
+        yield
+    finally:
+        for t, flag in zip(tensors, flags):
+            t.requires_grad = flag
 
 
 def _as_array(value, dtype=DEFAULT_DTYPE) -> np.ndarray:

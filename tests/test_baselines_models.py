@@ -97,6 +97,38 @@ class TestGraphEncoders:
         emb = train_unsupervised_gnn("gcn", empty, UnsupervisedConfig(dim=4))
         assert emb.shape == (5, 4)
 
+    def test_gat_fused_matches_unfused_bitwise(self, ring_graph, rng):
+        """The GAT layers ride the fused segment kernels via the
+        ``[a_src, 1] · [1, a_dst]`` bilinear embedding of the additive
+        score; forward outputs must be bitwise-identical to the unfused
+        gather-based composition, and gradients must agree to the fused
+        kernels' round-off contract (partitioned backward scatter)."""
+        from repro.core import fused_kernels
+
+        encoder = GraphEncoder("gat", ring_graph, dim=8, rng=rng)
+
+        def run():
+            for p in encoder.parameters():
+                p.grad = None
+            out = encoder()
+            (out ** 2).sum().backward()
+            return out.numpy().copy(), [p.grad.copy()
+                                        for p in encoder.parameters()]
+
+        with fused_kernels(True):
+            fused_out, fused_grads = run()
+        with fused_kernels(False):
+            unfused_out, unfused_grads = run()
+        np.testing.assert_array_equal(fused_out, unfused_out)
+        for got, ref in zip(fused_grads, unfused_grads):
+            np.testing.assert_allclose(got, ref, rtol=1e-12, atol=1e-14)
+
+    def test_gat_layer_gradcheck(self, ring_graph, rng):
+        encoder = GraphEncoder("gat", ring_graph, dim=3, rng=rng)
+        gradcheck(lambda: (encoder() ** 2).sum(),
+                  list(encoder.layer1.parameters())
+                  + list(encoder.layer2.parameters()))
+
 
 class TestCaster:
     def test_fit_and_evaluate(self, small_setup):

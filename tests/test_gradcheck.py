@@ -11,7 +11,8 @@ import numpy as np
 import pytest
 
 from repro.core import (DotDecoder, HyGNNEncoder, HyperedgeLevelAttention,
-                        MLPDecoder, NodeLevelAttention)
+                        MLPDecoder, NodeLevelAttention,
+                        ReversibleHyGNNEncoder)
 from repro.nn import SegmentPartition, Tensor
 from repro.nn import functional as F
 from repro.nn.gradcheck import gradcheck, numerical_gradient
@@ -166,3 +167,74 @@ class TestEncoderGradients:
             return (subset ** 2).sum()
 
         gradcheck(loss, list(encoder.parameters()))
+
+
+class TestMultiHeadGradients:
+    @pytest.mark.parametrize("use_partition", [False, True])
+    def test_hyperedge_level_two_heads(self, rng, partitions, use_partition):
+        node_part = partitions[0] if use_partition else None
+        layer = HyperedgeLevelAttention(node_dim=3, edge_dim=3, out_dim=2,
+                                        rng=rng, num_heads=2)
+        p, q = _inputs(rng)
+        gradcheck(lambda: (layer(p, q, NODE_IDS, EDGE_IDS,
+                                 node_partition=node_part) ** 2).sum(),
+                  list(layer.parameters()) + [p, q])
+
+    @pytest.mark.parametrize("use_partition", [False, True])
+    def test_node_level_two_heads(self, rng, partitions, use_partition):
+        edge_part = partitions[1] if use_partition else None
+        layer = NodeLevelAttention(node_dim=3, edge_dim=3, out_dim=2,
+                                   rng=rng, num_heads=2)
+        p, q = _inputs(rng)
+        gradcheck(lambda: (layer(p, q, NODE_IDS, EDGE_IDS,
+                                 edge_partition=edge_part) ** 2).sum(),
+                  list(layer.parameters()) + [p, q])
+
+
+class TestReversibleGradients:
+    @staticmethod
+    def _coupling(w1, w2, half):
+        def fn(x):
+            x1, x2 = x[:, :half], x[:, half:]
+            y1 = x1 + x2 @ w1
+            y2 = x2 + F.tanh(y1) @ w2
+            return F.concat([y1, y2], axis=1)
+
+        def fn_inverse(y):
+            y1, y2 = y[:, :half], y[:, half:]
+            x2 = y2 - F.tanh(y1) @ w2
+            x1 = y1 - x2 @ w1
+            return F.concat([x1, x2], axis=1)
+
+        return fn, fn_inverse
+
+    def test_invertible_checkpoint_op(self, rng):
+        w1 = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        fn, fn_inverse = self._coupling(w1, w2, 2)
+        gradcheck(lambda: (F.invertible_checkpoint(
+            fn, fn_inverse, x, (w1, w2)) ** 2).sum(), [x, w1, w2])
+
+    def test_chained_checkpoints_reconstruct_freed_input(self, rng):
+        """The second checkpoint frees the first's output; its backward
+        gradient flows through an inverse-reconstructed input."""
+        w1 = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        w2 = Tensor(rng.normal(size=(2, 2)), requires_grad=True)
+        x = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        fn, fn_inverse = self._coupling(w1, w2, 2)
+
+        def loss():
+            mid = F.invertible_checkpoint(fn, fn_inverse, x, (w1, w2))
+            return (F.invertible_checkpoint(fn, fn_inverse, mid,
+                                            (w1, w2)) ** 2).sum()
+
+        gradcheck(loss, [x, w1, w2])
+
+    def test_reversible_encoder_end_to_end(self, rng):
+        encoder = ReversibleHyGNNEncoder(num_substructures=NUM_NODES,
+                                         embed_dim=3, hidden_dim=2, rng=rng,
+                                         num_layers=2, dropout=0.0)
+        assert encoder.recompute
+        gradcheck(lambda: (encoder(NODE_IDS, EDGE_IDS, NUM_EDGES) ** 2).sum(),
+                  list(encoder.parameters()))
