@@ -29,13 +29,24 @@ deterministically in tests) — and
 :meth:`DDIScreeningService.from_store` cold-boots a full service from a
 CRC-verified store plus a serving-context bundle without re-encoding
 the corpus.
+
+The catalog is *living*, not frozen: :class:`ShardStore` is a versioned,
+crash-consistent, append-only store — every mutation (append, compaction,
+rollback) stages new segment files through a write-ahead intent journal
+and commits with one atomic manifest replace, so a writer killed at any
+point (driven exhaustively by :class:`~repro.serving.faults.CrashPolicy`
+crash points) recovers to a committed version, never a torn hybrid.
+``DDIScreeningService.register_drugs`` appends through to the attached
+store instead of detaching it, ``rollback_catalog`` restores any retained
+version bitwise, and remote workers heal catalog version skew by
+re-opening instead of being excluded.
 """
 
 from .cache import (FINGERPRINT_MODES, EmbeddingCache, LatencyWindow,
                     ServiceStats, weights_fingerprint)
 from .executor import ParallelShardExecutor, exact_score_fn
-from .faults import (FAULT_ACTIONS, FaultInjected, FaultPolicy, FaultRule,
-                     corrupt_payload)
+from .faults import (FAULT_ACTIONS, CrashPoint, CrashPolicy, FaultInjected,
+                     FaultPolicy, FaultRule, corrupt_payload)
 from .gateway import (DeadlineExceeded, GatewayClosed, GatewayOverloaded,
                       ScreeningGateway)
 from .precision import (QUANTIZATION_SCHEMES, SERVING_PRECISIONS,
@@ -61,7 +72,7 @@ __all__ = [
     "ShardWorker", "RemoteShardExecutor", "CircuitBreaker",
     "RemoteShardError", "FrameError", "send_message", "recv_message",
     "FaultPolicy", "FaultRule", "FaultInjected", "FAULT_ACTIONS",
-    "corrupt_payload",
+    "corrupt_payload", "CrashPoint", "CrashPolicy",
     "TopKAccumulator", "merge_top_k", "top_k_desc",
     "SERVING_PRECISIONS", "QUANTIZATION_SCHEMES", "resolve_precision",
     "quantize_int8", "dequantize_int8",

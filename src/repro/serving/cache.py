@@ -175,6 +175,15 @@ class ServiceStats:
     number of flushes at that size), and a :class:`LatencyWindow` of
     end-to-end request latencies (enqueue → response) exposing
     p50/p99/QPS.
+
+    The living-catalog fields track streaming mutations:
+    ``registrations`` counts drugs registered onto the live service (with
+    end-to-end timings in ``registration_latency``),
+    ``appends_committed`` / ``compactions`` / ``rollbacks`` count catalog
+    versions committed to the attached shard store, and
+    ``gateway_epoch_swaps`` counts flushes that observed a different
+    catalog epoch than the previous flush — how often in-flight traffic
+    crossed a catalog version boundary.
     """
 
     corpus_encodes: int = 0        # full catalog-context rebuilds
@@ -187,18 +196,26 @@ class ServiceStats:
     screens: int = 0
     parallel_screens: int = 0      # queries answered by the process pool
     remote_screens: int = 0        # queries answered by remote shard workers
+    registrations: int = 0         # drugs registered onto the live catalog
+    appends_committed: int = 0     # store versions committed by appends
+    compactions: int = 0           # store versions committed by compaction
+    rollbacks: int = 0             # store versions committed by rollback
     gateway_requests: int = 0      # requests admitted to the gateway queue
     gateway_rejections: int = 0    # admission-control fast-fails (queue full)
     gateway_expirations: int = 0   # deadlines missed before/during scoring
     gateway_failures: int = 0      # admitted requests failed by an exception
     gateway_batches: int = 0       # coalesced service calls (flushes)
+    gateway_epoch_swaps: int = 0   # flushes that crossed a catalog epoch
     gateway_batch_sizes: dict = field(default_factory=dict)
     gateway_latency: LatencyWindow = field(default_factory=LatencyWindow)
+    registration_latency: LatencyWindow = field(
+        default_factory=LatencyWindow)
 
     def as_dict(self) -> dict:
         out = dict(self.__dict__)
         out["gateway_batch_sizes"] = dict(self.gateway_batch_sizes)
         out["gateway_latency"] = self.gateway_latency.summary()
+        out["registration_latency"] = self.registration_latency.summary()
         return out
 
 
@@ -303,6 +320,30 @@ class EmbeddingCache:
                     for name, matrix in self.projections.items()}
         self.version = next(_VERSION_COUNTER)
         self.stats.incremental_encodes += len(rows)
+
+    def truncate_rows(self, num_rows: int) -> None:
+        """Drop every row past ``num_rows`` (the rollback counterpart of
+        :meth:`append_rows`).
+
+        Rows are append-only, so the surviving prefix is bitwise-identical
+        to the cache content as of when row ``num_rows`` was the end of
+        the catalog — which is what lets a service rollback restore exact
+        screening for a retained store version.
+        """
+        if not self.valid:
+            raise RuntimeError("cannot truncate an invalid cache")
+        current = len(self.embeddings)
+        if not 0 < num_rows <= current:
+            raise ValueError(f"cannot truncate {current} cached rows "
+                             f"to {num_rows}")
+        previous = self.embeddings
+        self.embeddings = np.ascontiguousarray(self.embeddings[:num_rows])
+        if self.projections is not None:
+            self.projections = {
+                name: (self.embeddings if matrix is previous
+                       else np.ascontiguousarray(matrix[:num_rows]))
+                for name, matrix in self.projections.items()}
+        self.version = next(_VERSION_COUNTER)
 
     def ensure_projections(self, decoder) -> dict[str, np.ndarray]:
         """Candidate projections for the cached embeddings, computing once.

@@ -80,7 +80,15 @@ _WORKER_STORE: ShardStore | None = None
 
 
 def _init_worker(manifest_path: str, mmap_mode: str | None) -> None:
-    """Pool initializer: open the shard store once per worker process."""
+    """Pool initializer: open the shard store once per worker process.
+
+    Opened as a *reader* (``recover=False``, the default): only the
+    owning service process recovers torn state, a pool worker must never
+    mutate the directory it shares with its siblings.  The worker pins
+    the catalog version committed at pool creation — the service closes
+    the pool on every store mutation, so a fresh pool reopens here at
+    the new version.
+    """
     global _WORKER_STORE
     _WORKER_STORE = ShardStore(manifest_path, mmap_mode=mmap_mode)
 

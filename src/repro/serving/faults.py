@@ -36,6 +36,63 @@ from dataclasses import dataclass, field
 FAULT_ACTIONS = ("delay", "drop", "error", "corrupt")
 
 
+class CrashPoint(BaseException):
+    """A simulated process death at a named point inside a store mutation.
+
+    Deliberately a ``BaseException``: production code that catches
+    ``Exception`` to degrade gracefully (the service detaching a failing
+    store, a worker replying with a structured error) must *not* be able
+    to swallow a simulated crash — a real ``kill -9`` cannot be caught
+    either.  Chaos tests catch it explicitly, then re-open the store in a
+    "fresh process" (a new :class:`~repro.serving.store.ShardStore`) and
+    assert recovery lands on a committed catalog version.
+    """
+
+    @property
+    def point(self) -> str:
+        return self.args[0] if self.args else ""
+
+
+class CrashPolicy:
+    """Deterministic crash injection for the store's commit protocol.
+
+    Every journal/segment/manifest write inside a
+    :class:`~repro.serving.store.ShardStore` mutation is bracketed by a
+    named *crash point* (``"append.journal"``, ``"append.file:..."``,
+    ``"compact.precommit"``, ...).  A mutation with a ``CrashPolicy``
+    attached calls :meth:`check` at each point; the policy raises
+    :class:`CrashPoint` the first time the named point is reached —
+    simulating the writer dying exactly there — and records every point
+    it visits in :attr:`seen`, so a recorder pass (``CrashPolicy()``,
+    no target) enumerates the complete crash surface of a mutation for
+    an exhaustive sweep::
+
+        recorder = CrashPolicy()
+        store.crash_policy = recorder
+        store.append(rows, proj)            # visits every point, no crash
+        for point in recorder.seen:         # now kill a writer at each one
+            ...
+
+    Thread-safe, single-shot per policy instance (a crashed writer is
+    dead; the test builds a new policy for the next victim).
+    """
+
+    def __init__(self, point: str | None = None):
+        self.point = point
+        self.seen: list[str] = []
+        self.fired = False
+        self._lock = threading.Lock()
+
+    def check(self, name: str) -> None:
+        """Record the visit; die here when this is the targeted point."""
+        with self._lock:
+            self.seen.append(name)
+            if self.fired or self.point is None or name != self.point:
+                return
+            self.fired = True
+        raise CrashPoint(name)
+
+
 @dataclass(frozen=True)
 class FaultRule:
     """One injectable fault: what to do, and exactly when to do it.

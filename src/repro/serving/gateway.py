@@ -151,6 +151,7 @@ class ScreeningGateway:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._task: asyncio.Task | None = None
         self._closed = False
+        self._last_epoch: int | None = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -168,6 +169,21 @@ class ScreeningGateway:
     def pending(self) -> int:
         """Requests admitted but not yet flushed."""
         return self._queue.qsize()
+
+    def stats_snapshot(self) -> dict:
+        """One JSON-ready dict of everything observable about serving.
+
+        The service counters (including the living-catalog fields:
+        ``registrations``, ``appends_committed``, ``compactions``,
+        ``rollbacks``, ``registration_latency``, ``gateway_epoch_swaps``)
+        plus the gateway's queue depth and the catalog epoch/version the
+        next flush will be answered under.
+        """
+        snapshot = self._service.stats.as_dict()
+        snapshot["pending"] = self.pending
+        snapshot["catalog_epoch"] = self._service.catalog_epoch
+        snapshot["catalog_version"] = self._service.catalog_version
+        return snapshot
 
     @property
     def closed(self) -> bool:
@@ -387,6 +403,14 @@ class ScreeningGateway:
         stats.gateway_batches += 1
         stats.gateway_batch_sizes[len(group)] = \
             stats.gateway_batch_sizes.get(len(group), 0) + 1
+        # Living-catalog observability: this flush is answered under the
+        # service's current catalog epoch; when it differs from the last
+        # flush's, live traffic just crossed a catalog version boundary
+        # (a registration, rollback, or rebuild landed in between).
+        epoch = self._service.catalog_epoch
+        if self._last_epoch is not None and epoch != self._last_epoch:
+            stats.gateway_epoch_swaps += 1
+        self._last_epoch = epoch
         try:
             results = self._score_group(key, group)
         except Exception:

@@ -288,6 +288,7 @@ class ShardWorker:
                 "embed_dim": store.embed_dim,
                 "num_shards": store.num_shards,
                 "block_size": store.block_size,
+                "version": store.version,
                 "quantization": store.quantization,
                 "projections": store.projection_names}
 
@@ -308,6 +309,16 @@ class ShardWorker:
                              "requests_served": self.requests_served}})
                 return True
             if op == "manifest":
+                send_message(connection, {"status": "ok",
+                                          "meta": self._manifest_meta()})
+                return True
+            if op == "reload":
+                # A client detected catalog version skew: re-read the
+                # manifest from disk (picking up any newer committed
+                # version) and report what we now serve.  Living-catalog
+                # appends land as new segment files, so existing mmaps
+                # stay valid across the reload.
+                self.store.reload()
                 send_message(connection, {"status": "ok",
                                           "meta": self._manifest_meta()})
                 return True
@@ -544,7 +555,8 @@ class RemoteShardExecutor:
             "remote_requests": 0, "remote_failures": 0, "retries": 0,
             "failovers": 0, "local_fallbacks": 0, "breaker_trips": 0,
             "breaker_skips": 0, "corrupt_responses": 0,
-            "mismatched_workers": 0}
+            "mismatched_workers": 0, "version_skews": 0,
+            "worker_reloads": 0}
 
     # ------------------------------------------------------------------
     @property
@@ -609,14 +621,42 @@ class RemoteShardExecutor:
                 out[endpoint.address] = None
         return out
 
+    def invalidate_validation(self) -> None:
+        """Force every endpoint to re-prove its manifest before reuse.
+
+        Called by the service after a local store mutation (append /
+        compaction / rollback): workers still serve the previous
+        committed version, which the next validation heals via the
+        ``reload`` op instead of excluding them.  Permanently mismatched
+        endpoints (foreign stores) stay excluded.
+        """
+        for endpoint in self._endpoints:
+            endpoint.validated = False
+
+    def _meta_matches(self, meta: dict) -> bool:
+        local = self._store.manifest
+        return (meta.get("fingerprint") == local.get("fingerprint")
+                and meta.get("catalog_digest") == local.get("catalog_digest")
+                and meta.get("num_drugs") == self._store.num_drugs
+                and meta.get("num_shards") == self._store.num_shards
+                and meta.get("version", 0) == self._store.version)
+
     def _validate_endpoint(self, endpoint: _Endpoint) -> None:
         """Prove the worker serves *this* store before trusting its numbers.
 
-        Fingerprint, catalog digest, and row count must all match the
-        local manifest; a mismatched worker is excluded permanently (a
-        breaker only heals transient faults — a wrong catalog never
-        heals).  Raises on transport failure so the caller's retry path
-        handles it like any other failed attempt.
+        Fingerprint, catalog digest, row count, and committed catalog
+        version must all match the local manifest.  Two very different
+        mismatches hide behind that check: a worker serving an **older
+        committed version of the same store** (the living catalog moved
+        under it) is asked to re-open via the ``reload`` op and
+        re-checked — a heal, not a failure — while a worker serving a
+        **foreign store** (different fingerprint after reload) is
+        excluded permanently (a breaker only heals transient faults — a
+        wrong catalog never heals).  A same-store worker that is *still*
+        skewed after reloading (e.g. replicated files lagging the
+        manifest) raises a retryable error so a later attempt can find
+        it caught up.  Raises on transport failure so the caller's retry
+        path handles it like any other failed attempt.
         """
         reply, _ = self._roundtrip(endpoint, {"op": "manifest"})
         if reply.get("status") != "ok":
@@ -624,22 +664,36 @@ class RemoteShardExecutor:
                 f"worker {endpoint.address}: manifest probe failed: "
                 f"{(reply.get('meta') or {}).get('message')}")
         meta = reply.get("meta") or {}
-        local = self._store.manifest
-        matches = (meta.get("fingerprint") == local.get("fingerprint")
-                   and meta.get("catalog_digest") == local.get(
-                       "catalog_digest")
-                   and meta.get("num_drugs") == self._store.num_drugs
-                   and meta.get("num_shards") == self._store.num_shards)
-        if not matches:
-            # Concurrent shard threads may validate the same endpoint at
-            # once; count each mismatched worker exactly once.
-            with self._stats_lock:
-                if not endpoint.mismatched:
-                    endpoint.mismatched = True
-                    self.stats["mismatched_workers"] += 1
-            raise RemoteShardError(
-                f"worker {endpoint.address} serves a different store "
-                f"(fingerprint/digest/shape mismatch) — excluded")
+        if not self._meta_matches(meta):
+            self._bump("version_skews")
+            reply, _ = self._roundtrip(endpoint, {"op": "reload"})
+            meta = (reply.get("meta") or {}) \
+                if reply.get("status") == "ok" else {}
+            if self._meta_matches(meta):
+                self._bump("worker_reloads")
+            elif (meta.get("fingerprint") == self._store.manifest.get(
+                    "fingerprint")
+                    and int(meta.get("version") or 0) < self._store.version):
+                # Same weights, still *behind* the local committed version
+                # after reloading — a replica whose files lag the catalog
+                # (e.g. mid-sync).  Transient: a later attempt may find it
+                # caught up.
+                raise RemoteShardError(
+                    f"worker {endpoint.address} is at catalog version "
+                    f"{meta.get('version')} (local {self._store.version}) "
+                    f"after reload — will retry")
+            else:
+                # Reload could not heal it and it is not lagging: the
+                # worker serves a genuinely different store.  Concurrent
+                # shard threads may validate the same endpoint at once;
+                # count each mismatched worker exactly once.
+                with self._stats_lock:
+                    if not endpoint.mismatched:
+                        endpoint.mismatched = True
+                        self.stats["mismatched_workers"] += 1
+                raise RemoteShardError(
+                    f"worker {endpoint.address} serves a different store "
+                    f"(fingerprint/digest/shape mismatch) — excluded")
         endpoint.validated = True
 
     # ------------------------------------------------------------------

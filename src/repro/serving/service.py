@@ -29,6 +29,7 @@ from __future__ import annotations
 import hashlib
 import io
 import json
+import time
 import zipfile
 from dataclasses import dataclass
 from pathlib import Path
@@ -297,7 +298,10 @@ class DDIScreeningService:
         service._index = {d: i for i, d in enumerate(drug_ids)}
         service._extension_nodes = extension_nodes
 
-        store = ShardStore(manifest)
+        # The cold-booting process owns the store directory: recover from
+        # any torn state (journal roll-forward/back, orphan quarantine)
+        # before trusting the manifest.
+        store = ShardStore(manifest, recover=True)
         if store.is_quantized:
             raise ValueError(
                 "cold boot needs an exact (non-quantized) shard store; "
@@ -366,10 +370,16 @@ class DDIScreeningService:
             self._cache.drop()
         self._ensure_fresh(check=True)
 
-    def _catalog_digest(self) -> str:
-        """Content hash of the catalog the embedding rows belong to."""
+    def _catalog_digest(self, upto: int | None = None) -> str:
+        """Content hash of the catalog the embedding rows belong to.
+
+        ``upto`` hashes only the first ``upto`` drugs — the catalog is
+        append-only, so a retained store version's digest is always the
+        digest of some prefix (how :meth:`rollback_catalog` verifies a
+        target version really is this catalog's past).
+        """
         digest = hashlib.blake2b(digest_size=16)
-        for smiles, drug_id in zip(self._smiles, self._drug_ids):
+        for smiles, drug_id in zip(self._smiles[:upto], self._drug_ids[:upto]):
             digest.update(smiles.encode("utf-8"))
             digest.update(b"\x00")
             digest.update(drug_id.encode("utf-8"))
@@ -496,12 +506,20 @@ class DDIScreeningService:
         mapped files (O(block + k) heap) instead of in-memory arrays, and
         — when ``num_workers`` (here or on the constructor) is > 1 — fans
         per-shard top-k out to a process pool.  Results stay bitwise-
-        identical to the in-memory engine.  A weight update or drug
-        registration detaches the store on the next query (the disk arrays
-        no longer describe the cache) and screening falls back in-memory.
+        identical to the in-memory engine.  A weight update detaches the
+        store on the next query (the disk arrays no longer describe the
+        cache) and screening falls back in-memory; drug registrations are
+        *appended through* to an attached exact store instead (see
+        :meth:`register_drugs`).
+
+        The attaching process owns the store: any torn state a crashed
+        writer left behind (intent journal, partial segment files) is
+        recovered to the last committed version before validation — see
+        :meth:`ShardStore.recover_dir`; the report is on
+        ``service.shard_store.recovered``.
         """
         try:
-            store = ShardStore(path, mmap_mode=mmap_mode)
+            store = ShardStore(path, mmap_mode=mmap_mode, recover=True)
         except (OSError, ValueError, KeyError):
             if strict:
                 raise
@@ -732,7 +750,15 @@ class DDIScreeningService:
     def register_drugs(self, smiles_list: list[str],
                        drug_ids: list[str] | None = None,
                        allow_unknown: bool = False) -> list[int]:
-        """Batch registration; identical embeddings to one-at-a-time calls."""
+        """Batch registration; identical embeddings to one-at-a-time calls.
+
+        With an exact shard store attached, the new rows are *appended
+        through* to it as a crash-safe segment (a new committed catalog
+        version) instead of detaching it — the out-of-core / parallel /
+        remote tiers keep serving across registrations.  A quantized
+        store cannot absorb exact rows and is detached as before.
+        """
+        start = time.perf_counter()
         if drug_ids is None:
             drug_ids = [f"drug_{len(self._smiles) + i}"
                         for i in range(len(smiles_list))]
@@ -769,6 +795,11 @@ class DDIScreeningService:
             # exactness — and are refreshed on the next full rebuild.
             projections["sketch"] = self._model.decoder.sketch_candidates(
                 projections, self._cache.sketch_factors)
+        # Snapshot *before* the version bump: cache versions are globally
+        # unique across services, so post-bump arithmetic cannot tell
+        # "in sync until this registration" from "already stale".
+        store_synced = (self._store is not None
+                        and self._store_version == self._cache.version)
         self._cache.append_rows(rows, projections=projections)
 
         indices = []
@@ -780,7 +811,168 @@ class DDIScreeningService:
             self._extension_nodes.append(nodes)
             indices.append(index)
         self._id_table = None
+        if store_synced:
+            self._append_to_store(rows, projections)
+        stats = self._cache.stats
+        stats.registrations += len(smiles_list)
+        stats.registration_latency.record(time.perf_counter() - start,
+                                          time.monotonic())
         return indices
+
+    # ------------------------------------------------------------------
+    # Living catalog: append-through, compaction, rollback
+    # ------------------------------------------------------------------
+    @property
+    def catalog_epoch(self) -> int:
+        """Monotone identifier of the catalog contents being served.
+
+        Every mutation of the serving rows — rebuild, registration,
+        rollback, cache load — moves the epoch; two screens answered
+        under the same epoch are answered from bitwise-identical
+        catalogs.  The gateway samples this per flush to count epoch
+        swaps observed by live traffic.
+        """
+        return self._cache.version
+
+    @property
+    def catalog_version(self) -> int | None:
+        """The attached store's committed catalog version (None = no
+        store)."""
+        self._sync_store()
+        return None if self._store is None else self._store.version
+
+    @property
+    def shard_store(self) -> ShardStore | None:
+        """The attached shard store, if any (versions/recovery live on
+        it)."""
+        return self._store
+
+    def _invalidate_execution(self) -> None:
+        """Reset execution tiers after a store mutation.
+
+        The pool workers opened the pre-mutation manifest at init, so the
+        pool is closed (a fresh one lazily reopens the committed version);
+        remote workers are re-validated on their next request, where
+        version skew triggers a worker-side re-open instead of exclusion.
+        The memoized catalog engine is keyed on the store version and
+        rebuilds by itself.
+        """
+        if self._executor is not None:
+            self._executor.close()
+            self._executor = None
+        if self._remote is not None:
+            self._remote.invalidate_validation()
+
+    def _append_to_store(self, rows: np.ndarray, projections: dict) -> None:
+        """Carry freshly registered rows through to the attached store.
+
+        Called with the in-memory registration already complete.  Any
+        append failure degrades gracefully — the store detaches and the
+        service keeps serving in-memory, exactly the pre-living-catalog
+        behaviour.  (A simulated :class:`~repro.serving.faults.CrashPoint`
+        is a ``BaseException`` and deliberately flies past the
+        degradation path, like a real ``kill -9`` would.)
+        """
+        store = self._store
+        if store is None:
+            return
+        if store.is_quantized:
+            # int8 segments would need requantization against the store's
+            # global per-column scales; quantized stores stay frozen
+            # snapshots (documented limitation) — fall back in-memory.
+            self._detach_store()
+            return
+        try:
+            proj_rows = dict(projections)
+            if ("sketch" in store.projection_names
+                    and "sketch" not in proj_rows):
+                # The store was saved approx-ready but the in-memory
+                # sketch precompute was released at open_shards; sketch
+                # the new rows with the store's own factors.
+                factors = (self._cache.sketch_factors
+                           or store.sketch_factors())
+                if factors is None:
+                    raise ValueError("store declares a sketch projection "
+                                     "but carries no factors")
+                self._cache.sketch_factors = factors
+                proj_rows["sketch"] = self._model.decoder.sketch_candidates(
+                    proj_rows, factors)
+            store.append(rows, proj_rows,
+                         catalog_digest=self._catalog_digest())
+        except Exception:
+            self._detach_store()
+            return
+        self._store_version = self._cache.version
+        self._cache.stats.appends_committed += 1
+        self._invalidate_execution()
+
+    def compact_shards(self, num_shards: int | None = None) -> int:
+        """Merge accumulated append segments into full shards.
+
+        Commits a new catalog version under the store's journal + atomic
+        replace protocol; the served rows are unchanged (screens stay
+        bitwise-identical), only the on-disk layout is consolidated.
+        Returns the new committed version.  Old segment files survive for
+        retained versions — ``service.shard_store.gc()`` reclaims them.
+        """
+        self._sync_store()
+        if self._store is None:
+            raise RuntimeError("compact_shards needs an attached shard "
+                               "store (save_shards + open_shards first)")
+        version = self._store.compact(num_shards,
+                                      catalog_digest=self._catalog_digest())
+        self._cache.stats.compactions += 1
+        self._invalidate_execution()
+        return version
+
+    def rollback_catalog(self, version: int) -> int:
+        """Roll the live catalog back to a retained store version.
+
+        The target version must be a *prefix* of the current catalog
+        (same fingerprint, and its catalog digest equals the digest of
+        the first ``num_drugs`` entries) — the catalog is append-only, so
+        any retained version of this store qualifies unless the corpus
+        itself differs.  The store re-commits the target's content as a
+        fresh (monotonic) version and the in-memory bookkeeping, cache
+        rows, and projections are truncated to match; subsequent screens
+        are bitwise-identical to the target version's.  Returns the new
+        committed store version.
+        """
+        self._sync_store()
+        store = self._store
+        if store is None:
+            raise RuntimeError("rollback_catalog needs an attached shard "
+                               "store (save_shards + open_shards first)")
+        target = store.manifest_for(version)
+        n = int(target["num_drugs"])
+        if not self._num_corpus <= n <= self.num_drugs:
+            raise ValueError(
+                f"version {version} covers {n} drugs; rollback can only "
+                f"unwind registered extensions "
+                f"({self._num_corpus}..{self.num_drugs} drugs)")
+        if target.get("fingerprint") != store.manifest.get("fingerprint"):
+            raise ValueError(
+                f"version {version} was committed under different model "
+                f"weights; cannot roll back a live service onto it")
+        if target.get("catalog_digest") != self._catalog_digest(n):
+            raise ValueError(
+                f"version {version} is not a prefix of the current "
+                f"catalog; cannot roll back")
+        new_version = store.rollback(version)
+        # In-memory truncation mirrors the store: rows are append-only,
+        # so the prefix restores the target catalog exactly.
+        if n < self.num_drugs:
+            for drug_id in self._drug_ids[n:]:
+                del self._index[drug_id]
+            del self._smiles[n:]
+            del self._drug_ids[n:]
+            del self._extension_nodes[n - self._num_corpus:]
+            self._id_table = None
+        self._cache.truncate_rows(n)
+        self._store_version = self._cache.version
+        self._cache.stats.rollbacks += 1
+        self._invalidate_execution()
+        return new_version
 
     # ------------------------------------------------------------------
     # Scoring
@@ -874,7 +1066,12 @@ class DDIScreeningService:
         """
         self._sync_store()
         if self._store is not None and (approx or not self._store.is_quantized):
-            key = ("store", id(self._store), self.block_size)
+            # The store version rides the key, so an append/compaction/
+            # rollback commit retires the memoized engine and the next
+            # screen admits the new catalog version (in-flight screens
+            # keep their version-pinned MappedShardCatalog).
+            key = ("store", id(self._store), self._store.version,
+                   self.block_size)
             if self._catalog_engine is None or self._catalog_key != key:
                 self._catalog_engine = self._store.catalog(self.block_size)
                 self._catalog_key = key

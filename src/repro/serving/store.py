@@ -5,11 +5,14 @@ the precomputed candidate-side decoder projections of each shard — as raw
 ``.npy`` files next to a JSON manifest:
 
     store_dir/
-      manifest.json                     # layout + fingerprint + digest
+      manifest.json                     # the current committed version
+      manifest.v000000.json             # retained snapshot of version 0
+      manifest.v000001.json             # retained snapshot of version 1
       shard_00000.emb.npy               # shard 0's embedding rows
       shard_00000.proj.<name>.npy       # shard 0's rows of projection <name>
-      shard_00001.emb.npy
-      ...
+      seg_v000001.emb.npy               # rows appended by version 1
+      journal.json                      # write-ahead intent (only mid-commit)
+      orphans/                          # quarantined debris from dead writers
 
 The manifest records the contiguous row range of every shard, the weight
 fingerprint and catalog digest the arrays were computed under (so a loader
@@ -17,6 +20,33 @@ can *prove* the store still matches the model and drug list it is about to
 serve), and the projection names — including which of them alias the
 embedding matrix itself (the dot decoder's identity precompute), which are
 never written twice.
+
+The store is a **versioned, crash-consistent, append-only catalog**:
+
+- :meth:`append` lands new drugs as segment files without touching a byte
+  of any existing shard file; :meth:`compact` merges accumulated segments
+  into full shards; :meth:`rollback` re-commits any retained version's
+  content as a new version; :meth:`gc` drops old retained versions.
+- Every mutation is staged through a write-ahead intent journal
+  (``journal.json``), then data files land via atomic temp+rename writes,
+  then a retained ``manifest.v{N}.json`` snapshot, and finally one atomic
+  ``os.replace`` of ``manifest.json`` **commits** the new version.  Catalog
+  versions increase monotonically — a rollback is a new version whose
+  content equals an old one, so readers never see version numbers reused.
+- Opening with ``recover=True`` (what :meth:`DDIScreeningService.open_shards
+  <repro.serving.service.DDIScreeningService.open_shards>` and
+  ``from_store`` do) repairs any torn state a dead writer left behind:
+  a completed-but-unacknowledged commit is tidied, a fully-staged commit is
+  rolled forward, and anything else is rolled back with the dead writer's
+  segment files quarantined under ``orphans/``.  Plain readers (pool
+  workers, remote workers) open with the default ``recover=False`` and only
+  ever see ``manifest.json`` — always a complete committed state — so a
+  live writer's in-flight journal is never disturbed by a concurrent open.
+- Crash-consistency is *driven*, not hoped for: every journal/segment/
+  manifest write is bracketed by a named crash point (``self.crash_policy``
+  — a :class:`~repro.serving.faults.CrashPolicy`), and the chaos tests kill
+  the writer at each point and assert recovery lands on a committed version
+  whose screens are bitwise-identical to that version's engine.
 
 Reopening goes through ``np.load(..., mmap_mode="r")``: shard arrays become
 read-only memory maps, so a screening pass touches O(block) file pages at a
@@ -35,6 +65,7 @@ from __future__ import annotations
 
 import json
 import re
+import threading
 import zlib
 from pathlib import Path
 from typing import Sequence
@@ -42,12 +73,17 @@ from typing import Sequence
 import numpy as np
 
 from .cache import _fingerprint_from_json, _fingerprint_to_json
+from .faults import CrashPolicy
 from .precision import QUANTIZATION_SCHEMES, quantize_int8
 from .shards import CatalogShard, ShardedEmbeddingCatalog
 
 MANIFEST_NAME = "manifest.json"
+JOURNAL_NAME = "journal.json"
+ORPHAN_DIR = "orphans"
 STORE_FORMAT = "repro.serving.shard-store/v1"
+JOURNAL_FORMAT = "repro.serving.shard-journal/v1"
 _NAME_RE = re.compile(r"^[A-Za-z0-9_-]+$")
+_RETAINED_RE = re.compile(r"^manifest\.v(\d{6})\.json$")
 _CRC_CHUNK = 1 << 20  # 1 MB read chunks keep verification O(1) in heap
 
 
@@ -86,6 +122,29 @@ def _atomic_save(root: Path, name: str, array: np.ndarray) -> int:
     crc = _crc32_file(tmp)
     tmp.replace(root / name)
     return crc
+
+
+def _atomic_write_text(root: Path, name: str, payload: str) -> None:
+    """Write ``root/name`` via temp file + ``os.replace`` (all-or-nothing)."""
+    tmp = root / (name + ".tmp")
+    tmp.write_text(payload)
+    tmp.replace(root / name)
+
+
+def _retained_name(version: int) -> str:
+    """File name of the retained manifest snapshot for ``version``."""
+    return f"manifest.v{int(version):06d}.json"
+
+
+def _manifest_files(manifest: dict) -> set[str]:
+    """Every data file a manifest references (shards + sketch factors)."""
+    names: set[str] = set()
+    for spec in manifest.get("shards", []):
+        names.add(spec["embeddings"])
+        names.update(spec["projections"].values())
+    sketch = manifest.get("sketch_factors") or {}
+    names.update(sketch.values())
+    return names
 
 
 def _validate_quantization(spec, embed_dim: int, projections: list[str],
@@ -136,62 +195,106 @@ class ShardStore:
     directory or the manifest file itself); :meth:`save` writes one.  Shards
     open lazily and are memoized per store instance, so a pool worker that
     is assigned shard *i* maps only shard *i*'s files.
+
+    ``recover=True`` runs crash recovery before reading the manifest — only
+    the catalog's *owner* (the serving process that mutates it) should pass
+    it; concurrent readers must not, or they would roll back a live
+    writer's in-flight journal.  The result of recovery, if any ran, is
+    recorded in :attr:`recovered`.
     """
 
     def __init__(self, path: str | Path, mmap_mode: str | None = "r",
-                 verify_checksums: bool = True):
+                 verify_checksums: bool = True, recover: bool = False):
         path = Path(path)
         if path.is_dir():
             path = path / MANIFEST_NAME
+        self.path = path
+        self.root = path.parent
+        self.mmap_mode = mmap_mode
+        self.verify_checksums = verify_checksums
+        # Crash-injection hook for the chaos tests: when set, every
+        # journal/segment/manifest write inside a mutation passes through
+        # CrashPolicy.check, which may raise CrashPoint to simulate the
+        # writer dying exactly there.
+        self.crash_policy: CrashPolicy | None = None
+        self.recovered: dict | None = None
+        self._mutate_lock = threading.Lock()
+        if recover:
+            self.recovered = self.recover_dir(self.root)
         manifest = json.loads(path.read_text())
+        self._install(manifest)
+
+    # ------------------------------------------------------------------
+    def _install(self, manifest: dict, *, keep_opened: bool = False,
+                 keep_quarantine: bool = False) -> None:
+        """Adopt ``manifest`` as this store's current in-memory state.
+
+        Called from the constructor and after every successful disk commit
+        — never before one, so a mutation that dies mid-commit (including
+        a simulated :class:`~repro.serving.faults.CrashPoint`) leaves the
+        in-memory store exactly as it was.  Any mutation invalidates the
+        entire verify memo: checksum results proven against the previous
+        catalog state say nothing about the new one.
+        """
         if not isinstance(manifest, dict):
-            raise ValueError(f"{path} is not a shard-store manifest")
+            raise ValueError(f"{self.path} is not a shard-store manifest")
         if manifest.get("format") != STORE_FORMAT:
             raise ValueError(
-                f"{path} is not a shard-store manifest "
+                f"{self.path} is not a shard-store manifest "
                 f"(format={manifest.get('format')!r})")
         missing = {"num_drugs", "embed_dim", "block_size", "projections",
                    "aliases", "shards"} - manifest.keys()
         if missing:
-            raise ValueError(f"{path} is missing manifest keys "
+            raise ValueError(f"{self.path} is missing manifest keys "
                              f"{sorted(missing)}")
-        self.path = path
-        self.root = path.parent
-        self.mmap_mode = mmap_mode
-        self.manifest = manifest
         # Coerce the scalar fields eagerly so any malformed manifest —
         # whatever the corruption — fails here as a ValueError, which
         # best-effort openers (DDIScreeningService.open_shards) treat as
         # "no usable store" rather than crashing.
         try:
-            self._num_drugs = int(manifest["num_drugs"])
-            self._embed_dim = int(manifest["embed_dim"])
-            self._block_size = int(manifest["block_size"])
+            num_drugs = int(manifest["num_drugs"])
+            embed_dim = int(manifest["embed_dim"])
+            block_size = int(manifest["block_size"])
+            version = int(manifest.get("version", 0))
             if not isinstance(manifest["shards"], list):
                 raise TypeError
             fingerprint = manifest.get("fingerprint")
-            self.fingerprint = (_fingerprint_from_json(fingerprint)
-                                if fingerprint is not None else None)
-            self._quantization = _validate_quantization(
-                manifest.get("quantization"), self._embed_dim,
+            fingerprint = (_fingerprint_from_json(fingerprint)
+                           if fingerprint is not None else None)
+            quantization = _validate_quantization(
+                manifest.get("quantization"), embed_dim,
                 list(manifest["projections"]), list(manifest["aliases"]))
             checksums = manifest.get("checksums")
             if checksums is not None and not isinstance(checksums, dict):
                 raise TypeError
-            self._checksums = ({str(name): int(crc)
-                                for name, crc in checksums.items()}
-                               if checksums else None)
+            checksums = ({str(name): int(crc)
+                          for name, crc in checksums.items()}
+                         if checksums else None)
         except (TypeError, ValueError, KeyError) as error:
             raise ValueError(
-                f"{path} has malformed manifest fields") from error
+                f"{self.path} has malformed manifest fields") from error
+        self.manifest = manifest
+        self._num_drugs = num_drugs
+        self._embed_dim = embed_dim
+        self._block_size = block_size
+        self.version = version
+        self.fingerprint = fingerprint
+        self._quantization = quantization
+        self._checksums = checksums
         self.catalog_digest = manifest.get("catalog_digest")
-        self.verify_checksums = verify_checksums
         # Shard indices whose files failed CRC verification — detected
         # rather than served; callers route around them (failover) or
         # re-save the store.
-        self.quarantined: set[int] = set()
+        if not keep_quarantine:
+            self.quarantined: set[int] = set()
         self._verified: set[str] = set()
-        self._opened: dict[int, CatalogShard] = {}
+        if not keep_opened:
+            self._opened: dict[int, CatalogShard] = {}
+
+    def _crash(self, point: str) -> None:
+        policy = self.crash_policy
+        if policy is not None:
+            policy.check(point)
 
     # ------------------------------------------------------------------
     @property
@@ -245,7 +348,9 @@ class ShardStore:
         """CRC-check one store file (memoized); quarantine on mismatch.
 
         A manifest without checksums (pre-integrity stores) skips
-        verification silently — there is nothing to check against.
+        verification silently — there is nothing to check against.  The
+        memo lives only until the next mutation: any append/compaction/
+        rollback/reload clears it, so re-verify re-reads the bytes.
         """
         if (not self.verify_checksums or self._checksums is None
                 or name in self._verified):
@@ -353,6 +458,407 @@ class ShardStore:
         return MappedShardCatalog(self, block_size or self.block_size)
 
     # ------------------------------------------------------------------
+    # Versioned mutation protocol
+    # ------------------------------------------------------------------
+    def _commit(self, op: str, new_manifest: dict,
+                data_files: list[tuple[str, np.ndarray]]) -> None:
+        """Stage and atomically commit ``new_manifest`` as a new version.
+
+        The write-ahead protocol, with a named crash point after every
+        durable step (``{op}.begin`` fires before the first one):
+
+        1. ``journal.json`` — the intent: target version, the retained
+           manifest name, and every data file about to be written.  From
+           here a dead writer is recoverable: either all listed files plus
+           the retained manifest made it (roll forward) or they did not
+           (roll back + quarantine).
+        2. each data file, via atomic temp+rename, CRC recorded;
+        3. the retained ``manifest.v{N}.json`` snapshot;
+        4. **commit point** — one atomic ``os.replace`` of
+           ``manifest.json``;
+        5. journal deleted (a crash between 4 and 5 is already committed —
+           recovery just tidies the journal).
+
+        The in-memory store is untouched; callers :meth:`_install` the new
+        manifest only after this returns.
+        """
+        root = self.root
+        target_version = int(new_manifest["version"])
+        retained_name = _retained_name(target_version)
+        self._crash(f"{op}.begin")
+        journal = {
+            "format": JOURNAL_FORMAT,
+            "op": op,
+            "target_version": target_version,
+            "manifest": retained_name,
+            "files": [name for name, _ in data_files],
+        }
+        _atomic_write_text(root, JOURNAL_NAME,
+                           json.dumps(journal, indent=2, sort_keys=True))
+        self._crash(f"{op}.journal")
+        checksums = dict(new_manifest.get("checksums") or {})
+        for name, array in data_files:
+            checksums[name] = _atomic_save(root, name, array)
+            self._crash(f"{op}.file:{name}")
+        new_manifest["checksums"] = checksums
+        payload = json.dumps(new_manifest, indent=2, sort_keys=True)
+        _atomic_write_text(root, retained_name, payload)
+        self._crash(f"{op}.manifest")
+        _atomic_write_text(root, MANIFEST_NAME, payload)
+        self._crash(f"{op}.commit")
+        (root / JOURNAL_NAME).unlink()
+        self._crash(f"{op}.done")
+
+    def _copy_manifest(self) -> dict:
+        """A mutation-safe deep copy of the current manifest."""
+        return json.loads(json.dumps(self.manifest))
+
+    def _require_exact(self, what: str) -> None:
+        if self.is_quantized:
+            raise ValueError(
+                f"an int8-quantized store is a frozen snapshot; {what} "
+                f"requires an exact store (re-save with quantize=None)")
+
+    def append(self, embeddings: np.ndarray,
+               projections: dict[str, np.ndarray] | None = None,
+               catalog_digest: str | None = None) -> int:
+        """Append new catalog rows as a segment; returns the new version.
+
+        The segment lands as fresh ``seg_v{N}.*.npy`` files — no existing
+        shard file is rewritten or even reopened, so the cost of an append
+        is O(rows appended), independent of catalog size, and every byte
+        of the old catalog stays bitwise-identical (retained versions keep
+        referencing the same files).  Projections must cover every
+        non-alias projection the manifest declares; alias entries (the dot
+        decoder's identity precompute) are accepted and ignored.
+        """
+        with self._mutate_lock:
+            self._require_exact("append")
+            embeddings = np.asarray(embeddings)
+            if embeddings.ndim != 2 or not len(embeddings):
+                raise ValueError("appended embeddings must be a non-empty "
+                                 "(rows, dim) matrix")
+            if embeddings.shape[1] != self._embed_dim:
+                raise ValueError(
+                    f"appended rows have dim {embeddings.shape[1]}, store "
+                    f"holds embed_dim {self._embed_dim}")
+            dtype = self.manifest.get("dtype")
+            if dtype is not None and str(embeddings.dtype) != dtype:
+                raise ValueError(
+                    f"appended rows have dtype {embeddings.dtype}, store "
+                    f"holds {dtype}")
+            projections = dict(projections or {})
+            expected = set(self.manifest["projections"])
+            aliases = set(self.manifest["aliases"])
+            extra = set(projections) - expected
+            if extra:
+                raise ValueError(f"unknown projections {sorted(extra)}; "
+                                 f"store declares {sorted(expected)}")
+            missing = (expected - aliases) - set(projections)
+            if missing:
+                raise ValueError(f"append is missing projections "
+                                 f"{sorted(missing)}")
+            for name in sorted(expected - aliases):
+                if len(projections[name]) != len(embeddings):
+                    raise ValueError(
+                        f"projection {name!r} has {len(projections[name])} "
+                        f"rows for {len(embeddings)} appended drugs")
+            new_version = self.version + 1
+            start, stop = self._num_drugs, self._num_drugs + len(embeddings)
+            emb_file = f"seg_v{new_version:06d}.emb.npy"
+            data_files: list[tuple[str, np.ndarray]] = [(emb_file,
+                                                         embeddings)]
+            proj_files: dict[str, str] = {}
+            for name in sorted(expected - aliases):
+                file_name = f"seg_v{new_version:06d}.proj.{name}.npy"
+                proj_files[name] = file_name
+                data_files.append((file_name,
+                                   np.asarray(projections[name])))
+            new_manifest = self._copy_manifest()
+            new_manifest["version"] = new_version
+            new_manifest["num_drugs"] = stop
+            if catalog_digest is not None:
+                new_manifest["catalog_digest"] = catalog_digest
+            new_manifest["shards"] = new_manifest["shards"] + [
+                {"start": start, "stop": stop, "embeddings": emb_file,
+                 "projections": proj_files}]
+            self._commit("append", new_manifest, data_files)
+            # Existing shard indices (and their mmaps) are untouched by an
+            # append, so the open-shard memo survives; the verify memo
+            # never does (satellite of the crash-safety contract).
+            self._install(new_manifest, keep_opened=True,
+                          keep_quarantine=True)
+            return new_version
+
+    def compact(self, num_shards: int | None = None,
+                catalog_digest: str | None = None) -> int:
+        """Merge accumulated segments into full shards; returns new version.
+
+        Rewrites the catalog's rows into ``num_shards`` contiguous shards
+        (default: as many shards as needed so none exceeds the largest
+        current shard's row count) under the same journal + atomic-commit
+        protocol as :meth:`append`.  Old files are *not* deleted — retained
+        versions still reference them; :meth:`gc` reclaims them once their
+        versions are dropped.  Readers pinned to an old version keep
+        serving from their existing memory maps.
+        """
+        with self._mutate_lock:
+            self._require_exact("compact")
+            if num_shards is None:
+                largest = max(int(spec["stop"]) - int(spec["start"])
+                              for spec in self.manifest["shards"])
+                num_shards = max(1, -(-self._num_drugs // largest))
+            if num_shards < 1:
+                raise ValueError("num_shards must be >= 1")
+            aliases = set(self.manifest["aliases"])
+            names = [name for name in self.manifest["projections"]
+                     if name not in aliases]
+            emb_parts, proj_parts = [], {name: [] for name in names}
+            for index in range(self.num_shards):
+                shard = self.open_shard(index)
+                emb_parts.append(np.asarray(shard.embeddings))
+                for name in names:
+                    proj_parts[name].append(
+                        np.asarray(shard.projections[name]))
+            embeddings = np.concatenate(emb_parts, axis=0)
+            merged = {name: np.concatenate(parts, axis=0)
+                      for name, parts in proj_parts.items()}
+            new_version = self.version + 1
+            chunks = [c for c in np.array_split(
+                np.arange(len(embeddings), dtype=np.int64), num_shards)
+                if len(c)]
+            data_files: list[tuple[str, np.ndarray]] = []
+            shard_specs = []
+            for i, chunk in enumerate(chunks):
+                lo, hi = int(chunk[0]), int(chunk[-1]) + 1
+                emb_file = f"seg_v{new_version:06d}_{i:05d}.emb.npy"
+                data_files.append((emb_file, embeddings[lo:hi]))
+                proj_files = {}
+                for name in names:
+                    file_name = (f"seg_v{new_version:06d}_{i:05d}"
+                                 f".proj.{name}.npy")
+                    data_files.append((file_name, merged[name][lo:hi]))
+                    proj_files[name] = file_name
+                shard_specs.append({"start": lo, "stop": hi,
+                                    "embeddings": emb_file,
+                                    "projections": proj_files})
+            new_manifest = self._copy_manifest()
+            new_manifest["version"] = new_version
+            new_manifest["shards"] = shard_specs
+            if catalog_digest is not None:
+                new_manifest["catalog_digest"] = catalog_digest
+            self._commit("compact", new_manifest, data_files)
+            self._install(new_manifest)
+            return new_version
+
+    def rollback(self, version: int) -> int:
+        """Re-commit a retained version's content as a *new* version.
+
+        Versions stay monotonic — a rollback never reuses a version
+        number, it creates a fresh one whose manifest equals the target's
+        (append-only data files are shared, nothing is copied).  The
+        target must still be retained (see :meth:`versions`) and all its
+        data files present (not :meth:`gc`-ed).
+        """
+        with self._mutate_lock:
+            version = int(version)
+            retained = self.root / _retained_name(version)
+            if not retained.exists():
+                raise ValueError(
+                    f"version {version} is not retained (have "
+                    f"{self.versions()}); cannot roll back")
+            target = json.loads(retained.read_text())
+            if not isinstance(target, dict) \
+                    or target.get("format") != STORE_FORMAT:
+                raise ValueError(f"{retained} is not a shard-store manifest")
+            missing = [name for name in sorted(_manifest_files(target))
+                       if not (self.root / name).exists()]
+            if missing:
+                raise ValueError(
+                    f"version {version} references garbage-collected files "
+                    f"{missing}; cannot roll back")
+            new_version = self.version + 1
+            new_manifest = json.loads(json.dumps(target))
+            new_manifest["version"] = new_version
+            self._commit("rollback", new_manifest, [])
+            self._install(new_manifest)
+            return new_version
+
+    def versions(self) -> list[int]:
+        """Retained catalog versions, ascending (rollback targets)."""
+        found = []
+        for path in self.root.glob("manifest.v*.json"):
+            match = _RETAINED_RE.match(path.name)
+            if match:
+                found.append(int(match.group(1)))
+        return sorted(found)
+
+    def manifest_for(self, version: int) -> dict:
+        """The retained manifest snapshot of ``version``."""
+        retained = self.root / _retained_name(int(version))
+        if not retained.exists():
+            raise ValueError(f"version {version} is not retained "
+                             f"(have {self.versions()})")
+        return json.loads(retained.read_text())
+
+    def gc(self, keep: int = 2) -> list[str]:
+        """Drop old retained versions and their unreferenced data files.
+
+        Keeps the newest ``keep`` retained manifests (the current version
+        is always kept), then deletes any ``.npy`` in the store root that
+        no surviving manifest references.  Deliberately journal-free but
+        crash-safe by *ordering*: manifests are deleted before data files,
+        so a crash can only leak unreferenced files — which the next
+        :meth:`gc` reclaims — never break a referenced version.  Readers
+        pinned to a dropped version keep serving: their memory maps hold
+        the deleted files open (POSIX unlink semantics).
+        """
+        with self._mutate_lock:
+            if keep < 1:
+                raise ValueError("keep must be >= 1")
+            if (self.root / JOURNAL_NAME).exists():
+                raise RuntimeError(
+                    "store has an unresolved intent journal (crashed "
+                    "writer?); recover before garbage-collecting")
+            versions = self.versions()
+            survivors = set(versions[-keep:]) | {self.version}
+            deleted: list[str] = []
+            for version in versions:
+                if version in survivors:
+                    continue
+                path = self.root / _retained_name(version)
+                path.unlink()
+                deleted.append(path.name)
+            referenced = _manifest_files(self.manifest)
+            for version in sorted(survivors):
+                path = self.root / _retained_name(version)
+                if not path.exists():
+                    continue
+                try:
+                    referenced |= _manifest_files(json.loads(
+                        path.read_text()))
+                except (ValueError, TypeError, KeyError):
+                    continue
+            for path in sorted(self.root.glob("*.npy")):
+                if path.name not in referenced:
+                    path.unlink()
+                    deleted.append(path.name)
+            self._verified = set()
+            return deleted
+
+    def reload(self) -> int:
+        """Re-read ``manifest.json`` from disk; returns the version.
+
+        What a remote worker does when the client reports version skew:
+        the committed manifest may have moved on since this process opened
+        it.  All memos are dropped — shard indices may have changed.
+        """
+        with self._mutate_lock:
+            manifest = json.loads((self.root / MANIFEST_NAME).read_text())
+            self._install(manifest)
+            return self.version
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def recover_dir(root: str | Path) -> dict:
+        """Repair a store directory a dead writer may have left torn.
+
+        Returns a report ``{"action", "version", "orphans", "swept"}``:
+
+        - ``action=None`` — no journal, nothing to do (``swept`` may still
+          list deleted ``*.tmp`` debris from torn atomic writes);
+        - ``"completed"`` — the commit finished before the crash, only the
+          journal needed tidying;
+        - ``"roll-forward"`` — every journaled file and the retained
+          manifest landed intact (CRC-verified), so the interrupted commit
+          is finished with the same atomic rename the writer would have
+          done;
+        - ``"roll-back"`` — the staged state is incomplete; the dead
+          writer's files are quarantined under ``orphans/`` (named in
+          ``orphans``), the partial retained manifest deleted, and the
+          journal dropped, leaving the previous committed version current.
+
+        Must only run in the catalog owner's process: a concurrent reader
+        running this against a *live* writer's journal would roll back an
+        in-flight commit.
+        """
+        root = Path(root)
+        report: dict = {"action": None, "version": None, "orphans": [],
+                        "swept": []}
+        for tmp in sorted(root.glob("*.tmp")):
+            tmp.unlink()
+            report["swept"].append(tmp.name)
+        journal_path = root / JOURNAL_NAME
+        if not journal_path.exists():
+            return report
+        try:
+            journal = json.loads(journal_path.read_text())
+            target = int(journal["target_version"])
+            retained_name = str(journal["manifest"])
+            files = [str(name) for name in journal.get("files", [])]
+        except (ValueError, TypeError, KeyError):
+            # The journal is written atomically, so an unreadable one is
+            # foreign damage; with no intent to interpret, dropping it is
+            # the only safe move (manifest.json is still a committed
+            # state).
+            journal_path.unlink()
+            report["action"] = "roll-back"
+            return report
+        current_version = -1
+        manifest_path = root / MANIFEST_NAME
+        if manifest_path.exists():
+            try:
+                current = json.loads(manifest_path.read_text())
+                current_version = int(current.get("version", 0))
+            except (ValueError, TypeError):
+                pass
+        if current_version >= target:
+            # The atomic rename (the commit point) happened; the crash was
+            # between commit and journal cleanup.
+            journal_path.unlink()
+            report.update(action="completed", version=current_version)
+            return report
+        retained = root / retained_name
+        complete = False
+        if retained.exists():
+            try:
+                staged = json.loads(retained.read_text())
+                checksums = staged.get("checksums") or {}
+                complete = (
+                    isinstance(staged, dict)
+                    and staged.get("format") == STORE_FORMAT
+                    and int(staged.get("version", -1)) == target
+                    and all((root / name).exists()
+                            and _crc32_file(root / name)
+                            == int(checksums.get(name, -1))
+                            for name in files))
+            except (ValueError, TypeError, KeyError, OSError):
+                complete = False
+        if complete:
+            # Everything the journal promised is durable and CRC-clean;
+            # finish the commit exactly as the writer would have.
+            _atomic_write_text(root, MANIFEST_NAME, retained.read_text())
+            journal_path.unlink()
+            report.update(action="roll-forward", version=target)
+            return report
+        # Incomplete staging: quarantine the dead writer's debris so the
+        # previous committed version serves untainted.
+        orphan_dir = root / ORPHAN_DIR
+        for name in files:
+            src = root / name
+            if src.exists():
+                orphan_dir.mkdir(exist_ok=True)
+                src.replace(orphan_dir / name)
+                report["orphans"].append(name)
+        if retained.exists():
+            retained.unlink()
+        journal_path.unlink()
+        report.update(action="roll-back",
+                      version=current_version if current_version >= 0
+                      else None)
+        return report
+
+    # ------------------------------------------------------------------
     @classmethod
     def save(cls, path: str | Path, embeddings: np.ndarray,
              projections: dict[str, np.ndarray] | None = None,
@@ -368,6 +874,10 @@ class ShardStore:
         reopened store screens shard-for-shard identically.  Projections
         whose matrix *is* the embedding matrix (the dot decoder's identity
         precompute) are recorded as aliases, not written twice.
+
+        The store starts at catalog version 0, with the version-0 manifest
+        retained alongside ``manifest.json`` so later :meth:`rollback`
+        calls can restore the initial catalog.
 
         ``quantize="int8"`` stores every matrix as symmetric per-column-
         scaled int8 codes (scales ride the manifest), shrinking the store
@@ -453,6 +963,7 @@ class ShardStore:
                                                     sketch_factors[key])
         manifest = {
             "format": STORE_FORMAT,
+            "version": 0,
             "fingerprint": (_fingerprint_to_json(fingerprint)
                             if fingerprint is not None else None),
             "catalog_digest": catalog_digest,
@@ -467,15 +978,15 @@ class ShardStore:
             "sketch_factors": sketch_spec,
             "checksums": checksums,
         }
-        manifest_path = root / MANIFEST_NAME
+        payload = json.dumps(manifest, indent=2, sort_keys=True)
         # The manifest is written last and renamed into place atomically:
         # a crash at any earlier point leaves either no manifest or the
         # previous complete one — never a manifest pointing at missing or
-        # partial shard files.
-        tmp = manifest_path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        tmp.replace(manifest_path)
-        return manifest_path
+        # partial shard files.  The retained version-0 snapshot lands
+        # first so the committed state is always rollback-complete.
+        _atomic_write_text(root, _retained_name(0), payload)
+        _atomic_write_text(root, MANIFEST_NAME, payload)
+        return root / MANIFEST_NAME
 
 
 class MappedShardCatalog(ShardedEmbeddingCatalog):
@@ -488,12 +999,19 @@ class MappedShardCatalog(ShardedEmbeddingCatalog):
     deliberately no materialized global embedding/projection matrix — use
     :meth:`rows` to gather specific rows (the approximate-mode rerank
     does), which reads only the pages those rows live on.
+
+    The shard list and row count are snapshotted at construction, so a
+    catalog built from a store *pins* that store's version: the store can
+    append/compact/roll back underneath it and the pinned catalog keeps
+    screening the version it opened, bitwise-identically.
     """
 
     def __init__(self, store: ShardStore, block_size: int):
         if block_size < 1:
             raise ValueError("block_size must be >= 1")
         self._store = store
+        self._version = store.version
+        self._num_drugs = store.num_drugs
         self._shards = [store.open_shard(i)
                         for i in range(store.num_shards)]
         self._starts = np.array([int(s.indices[0]) for s in self._shards],
@@ -507,8 +1025,13 @@ class MappedShardCatalog(ShardedEmbeddingCatalog):
         return self._store
 
     @property
+    def version(self) -> int:
+        """The store catalog version this catalog pinned when opened."""
+        return self._version
+
+    @property
     def num_drugs(self) -> int:
-        return self._store.num_drugs
+        return self._num_drugs
 
     @property
     def projections(self) -> dict[str, np.ndarray]:

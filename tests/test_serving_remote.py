@@ -532,7 +532,10 @@ class TestStoreIntegrity:
         assert store.has_checksums
         files = {p.name for p in manifest.parent.iterdir()}
         assert not any(name.endswith(".tmp") for name in files)
-        assert set(store.manifest["checksums"]) == files - {"manifest.json"}
+        manifests = {name for name in files
+                     if name == "manifest.json"
+                     or name.startswith("manifest.v")}
+        assert set(store.manifest["checksums"]) == files - manifests
         assert store.verify() == []
 
     def test_corrupt_shard_detected_and_quarantined(self, tmp_path):

@@ -292,16 +292,23 @@ class TestServiceStore:
         assert service._store is None
         assert hits == reference
 
-    def test_registration_detaches_stale_store(self, setup, tmp_path):
+    def test_registration_appends_through_to_store(self, setup, tmp_path):
+        """A registration lands in the attached store as a committed
+        append segment (the living-catalog contract) instead of
+        detaching it."""
         corpus, _, model, _, _ = setup
         service = _service(setup, num_shards=2)
         service.save_shards(tmp_path / "store")
         assert service.open_shards(tmp_path / "store")
+        before_version = service.catalog_version
         service.screen(0, top_k=3)
         index = service.register_drug(corpus[5], drug_id="late-twin")
         hits = service.screen(5, top_k=service.num_drugs)
         assert index in [h.index for h in hits]  # sees the new drug
-        assert service._store is None  # store no longer describes the cache
+        assert service._store is not None  # store followed the catalog
+        assert service.catalog_version == before_version + 1
+        assert service._store.num_drugs == service.num_drugs
+        assert service.stats.appends_committed == 1
 
     def test_weight_update_detaches_stale_store(self, setup, tmp_path):
         corpus, _, model, _, _ = setup
